@@ -1,0 +1,118 @@
+// Microbenchmarks (google-benchmark) of the primitive operations:
+// xnor/popcount convolution throughput, codec encode/decode rates,
+// frequency analysis and the bit stream - the building blocks whose
+// costs the timing model abstracts.
+
+#include <benchmark/benchmark.h>
+
+#include "core/bkc.h"
+
+namespace {
+
+using namespace bkc;
+
+bnn::PackedKernel make_kernel(std::int64_t channels, std::uint64_t seed) {
+  bnn::WeightGenerator gen(seed);
+  const auto dist =
+      bnn::SequenceDistribution::fitted({0.645, 0.951});
+  return gen.sample_kernel3x3(channels, channels, dist);
+}
+
+void BM_BinaryConv3x3(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  const std::int64_t size = 14;
+  bnn::WeightGenerator gen(3);
+  const auto input =
+      bnn::pack_feature(gen.sample_activation({channels, size, size}));
+  const auto kernel = make_kernel(channels, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bnn::binary_conv2d(input, kernel, {.stride = 1, .padding = 1}));
+  }
+  const auto macs = static_cast<double>(
+      channels * channels * 9 * size * size);
+  state.counters["GMAC/s"] = benchmark::Counter(
+      macs, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_BinaryConv3x3)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GroupedEncode(benchmark::State& state) {
+  const auto kernel = make_kernel(128, 7);
+  const auto table = compress::FrequencyTable::from_kernel(kernel);
+  const compress::GroupedHuffmanCodec codec(table);
+  const auto sequences = bnn::extract_sequences(kernel);
+  for (auto _ : state) {
+    std::size_t bits = 0;
+    benchmark::DoNotOptimize(codec.encode(sequences, bits));
+  }
+  state.counters["seq/s"] = benchmark::Counter(
+      static_cast<double>(sequences.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GroupedEncode);
+
+void BM_GroupedDecode(benchmark::State& state) {
+  const auto kernel = make_kernel(128, 9);
+  const auto table = compress::FrequencyTable::from_kernel(kernel);
+  const compress::GroupedHuffmanCodec codec(table);
+  const auto compressed = compress::compress_kernel(kernel, codec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compress::decompress_kernel(compressed, codec));
+  }
+  state.counters["seq/s"] = benchmark::Counter(
+      static_cast<double>(compressed.num_sequences()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GroupedDecode);
+
+void BM_FullHuffmanDecode(benchmark::State& state) {
+  const auto kernel = make_kernel(128, 11);
+  const auto table = compress::FrequencyTable::from_kernel(kernel);
+  const auto codec = compress::HuffmanCodec::build(table);
+  const auto sequences = bnn::extract_sequences(kernel);
+  std::size_t bits = 0;
+  const auto stream = codec.encode(sequences, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(stream, bits, sequences.size()));
+  }
+  state.counters["seq/s"] = benchmark::Counter(
+      static_cast<double>(sequences.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_FullHuffmanDecode);
+
+void BM_FrequencyAnalysis(benchmark::State& state) {
+  const auto kernel = make_kernel(256, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compress::FrequencyTable::from_kernel(kernel));
+  }
+}
+BENCHMARK(BM_FrequencyAnalysis);
+
+void BM_ClusteringPass(benchmark::State& state) {
+  const auto kernel = make_kernel(256, 15);
+  const auto table = compress::FrequencyTable::from_kernel(kernel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress::cluster_sequences(table, {}));
+  }
+}
+BENCHMARK(BM_ClusteringPass);
+
+void BM_BitstreamWrite(benchmark::State& state) {
+  for (auto _ : state) {
+    BitWriter writer;
+    for (int i = 0; i < 10000; ++i) {
+      writer.write_bits(static_cast<std::uint64_t>(i) & 0x7F, 7);
+    }
+    benchmark::DoNotOptimize(writer.take());
+  }
+  state.counters["bits/s"] = benchmark::Counter(
+      70000.0, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_BitstreamWrite);
+
+}  // namespace

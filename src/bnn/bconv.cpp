@@ -1,0 +1,84 @@
+#include "bnn/bconv.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace bkc::bnn {
+
+Tensor binary_conv2d(const PackedFeature& input, const PackedKernel& kernel,
+                     ConvGeometry geometry) {
+  const FeatureShape in_shape = input.shape();
+  const KernelShape k_shape = kernel.shape();
+  check(in_shape.channels == k_shape.in_channels,
+        "binary_conv2d: channel mismatch (" + in_shape.to_string() + " vs " +
+            k_shape.to_string() + ")");
+  const FeatureShape out_shape = geometry.output_shape(in_shape, k_shape);
+  Tensor out(out_shape);
+
+  const std::int64_t wpp = input.words_per_pixel();
+  check(wpp == kernel.words_per_position(),
+        "binary_conv2d: packing mismatch");
+  const std::uint64_t tail = input.tail_mask();
+  // Bits contributed per kernel position: all channels, including the
+  // masked-off lanes of the tail word which are forced to match below.
+  const std::int64_t receptive = k_shape.receptive_size();
+
+  for (std::int64_t o = 0; o < out_shape.channels; ++o) {
+    for (std::int64_t oy = 0; oy < out_shape.height; ++oy) {
+      const std::int64_t base_y = oy * geometry.stride - geometry.padding;
+      for (std::int64_t ox = 0; ox < out_shape.width; ++ox) {
+        const std::int64_t base_x = ox * geometry.stride - geometry.padding;
+        std::int64_t matches = 0;
+        for (std::int64_t ky = 0; ky < k_shape.kernel_h; ++ky) {
+          const std::int64_t iy = base_y + ky;
+          const bool row_in =
+              iy >= 0 && iy < in_shape.height;
+          for (std::int64_t kx = 0; kx < k_shape.kernel_w; ++kx) {
+            const std::int64_t ix = base_x + kx;
+            const auto w = kernel.at(o, ky, kx);
+            if (row_in && ix >= 0 && ix < in_shape.width) {
+              const auto x = input.at(iy, ix);
+              for (std::int64_t t = 0; t < wpp; ++t) {
+                const std::uint64_t mask =
+                    (t == wpp - 1) ? tail : ~0ULL;
+                const std::uint64_t agree =
+                    ~(w[static_cast<std::size_t>(t)] ^
+                      x[static_cast<std::size_t>(t)]) &
+                    mask;
+                matches += std::popcount(agree);
+              }
+            } else {
+              // Padding: input bits are 0 (-1); agreement happens where
+              // the weight bit is 0 too.
+              for (std::int64_t t = 0; t < wpp; ++t) {
+                const std::uint64_t mask =
+                    (t == wpp - 1) ? tail : ~0ULL;
+                matches +=
+                    std::popcount(~w[static_cast<std::size_t>(t)] & mask);
+              }
+            }
+          }
+        }
+        out.at(o, oy, ox) =
+            static_cast<float>(2 * matches - receptive);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor binary_conv2d(const Tensor& input, const PackedKernel& kernel,
+                     ConvGeometry geometry) {
+  return binary_conv2d(pack_feature(input), kernel, geometry);
+}
+
+std::int64_t binary_conv2d_word_ops(const FeatureShape& input,
+                                    const KernelShape& kernel,
+                                    ConvGeometry geometry) {
+  const FeatureShape out = geometry.output_shape(input, kernel);
+  return out.channels * out.height * out.width * kernel.kernel_h *
+         kernel.kernel_w * words_per_group(kernel.in_channels);
+}
+
+}  // namespace bkc::bnn

@@ -1,0 +1,35 @@
+#pragma once
+// Binary convolution via xnor + popcount (Eq. 2 of the paper).
+//
+// For +/-1 operands the dot product of two length-K bit vectors is
+//   dot = 2 * popcount(xnor(w, x)) - K
+// because every matching bit pair contributes +1 and every differing
+// pair -1. The engine walks the channel-packed layout directly: one
+// 64-bit xnor+popcount covers 64 channels, mirroring daBNN's NEON path.
+//
+// Spatial padding follows the paper (Sec IV-B): padded positions hold
+// the value -1 (stored bit 0) and *do* contribute to the dot product,
+// exactly like the reference convolution with pad_value = -1.
+
+#include "bnn/bitpack.h"
+#include "tensor/tensor.h"
+
+namespace bkc::bnn {
+
+/// Binary convolution returning the integer dot products as floats
+/// (range [-K, K] with K = in_channels * kernel_h * kernel_w).
+/// Works for any kernel size; the paper's models use 3x3 and 1x1.
+Tensor binary_conv2d(const PackedFeature& input, const PackedKernel& kernel,
+                     ConvGeometry geometry);
+
+/// Convenience wrapper: binarize + pack a float input, then convolve.
+Tensor binary_conv2d(const Tensor& input, const PackedKernel& kernel,
+                     ConvGeometry geometry);
+
+/// Number of xnor+popcount word operations one call performs; the
+/// timing model uses the same accounting.
+std::int64_t binary_conv2d_word_ops(const FeatureShape& input,
+                                    const KernelShape& kernel,
+                                    ConvGeometry geometry);
+
+}  // namespace bkc::bnn

@@ -1,0 +1,17 @@
+#include "bnn/binarize.h"
+
+namespace bkc::bnn {
+
+Tensor binarize(const Tensor& input) {
+  Tensor out = input;
+  out.transform([](float v) { return sign_binarize(v); });
+  return out;
+}
+
+WeightTensor binarize(const WeightTensor& weights) {
+  WeightTensor out = weights;
+  for (float& v : out.data()) v = sign_binarize(v);
+  return out;
+}
+
+}  // namespace bkc::bnn

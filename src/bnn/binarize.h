@@ -1,0 +1,20 @@
+#pragma once
+// Binarization (Eq. 1 of the paper): xb = +1 if x >= 0, -1 otherwise.
+
+#include "tensor/tensor.h"
+
+namespace bkc::bnn {
+
+/// Binarize a single value per Eq. 1.
+inline float sign_binarize(float x) { return x >= 0.0f ? 1.0f : -1.0f; }
+
+/// The stored bit for a value: 1 encodes +1, 0 encodes -1.
+inline int sign_bit(float x) { return x >= 0.0f ? 1 : 0; }
+
+/// Element-wise binarization of a feature map to a +/-1-valued tensor.
+Tensor binarize(const Tensor& input);
+
+/// Element-wise binarization of weights to +/-1 values.
+WeightTensor binarize(const WeightTensor& weights);
+
+}  // namespace bkc::bnn

@@ -1,0 +1,91 @@
+#pragma once
+// Bit sequences: the paper's central abstraction (Sec III, Fig 2).
+//
+// A "bit sequence" is the 9-bit pattern formed by one 3x3 channel of a
+// binary kernel under the *natural mapping*: the weight at position
+// (0,0) is the most significant bit and the weight at (2,2) the least
+// significant, so each channel maps to an integer in [0, 512). A stored
+// bit of 1 means weight +1 and a bit of 0 means weight -1 (Eq. 1).
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "util/check.h"
+
+namespace bkc::bnn {
+
+/// Side length of the kernels the compression scheme targets.
+inline constexpr int kSeqSide = 3;
+/// Bits per bit sequence (3x3 channel).
+inline constexpr int kSeqBits = kSeqSide * kSeqSide;  // 9
+/// Number of distinct bit sequences: 2^9 = 512 (Sec III).
+inline constexpr int kNumSequences = 1 << kSeqBits;
+
+/// A bit sequence id under the natural mapping, in [0, kNumSequences).
+using SeqId = std::uint16_t;
+
+/// Number of +1 weights in the sequence.
+inline int seq_popcount(SeqId s) {
+  return std::popcount(static_cast<unsigned>(s));
+}
+
+/// Hamming distance between two sequences (number of differing weights).
+/// The clustering pass (Sec III-C) only substitutes at distance 1.
+inline int hamming_distance(SeqId a, SeqId b) {
+  return std::popcount(static_cast<unsigned>(a ^ b));
+}
+
+/// The complement sequence (every weight sign flipped). The frequency
+/// distributions observed in the paper are nearly complement-symmetric:
+/// the Fig. 3 top-16 list is exactly eight complement pairs.
+inline SeqId seq_complement(SeqId s) {
+  return static_cast<SeqId>(~s & (kNumSequences - 1));
+}
+
+/// All sequences at Hamming distance exactly 1 (one per bit position).
+inline std::array<SeqId, kSeqBits> seq_neighbors1(SeqId s) {
+  std::array<SeqId, kSeqBits> out{};
+  for (int b = 0; b < kSeqBits; ++b) {
+    out[static_cast<std::size_t>(b)] = static_cast<SeqId>(s ^ (1u << b));
+  }
+  return out;
+}
+
+/// Bit of the sequence at kernel position (ky, kx) under the natural
+/// mapping. Returns 1 for weight +1, 0 for weight -1.
+inline int seq_bit(SeqId s, int ky, int kx) {
+  check(ky >= 0 && ky < kSeqSide && kx >= 0 && kx < kSeqSide,
+        "seq_bit: position out of the 3x3 kernel");
+  const int shift = kSeqBits - 1 - (ky * kSeqSide + kx);
+  return (s >> shift) & 1;
+}
+
+/// Build a sequence from a row-major array of 9 bits (1 => +1, 0 => -1),
+/// element 0 being position (0,0).
+inline SeqId seq_from_bits(const std::array<int, kSeqBits>& bits) {
+  SeqId s = 0;
+  for (int i = 0; i < kSeqBits; ++i) {
+    check(bits[static_cast<std::size_t>(i)] == 0 ||
+              bits[static_cast<std::size_t>(i)] == 1,
+          "seq_from_bits: bits must be 0 or 1");
+    s = static_cast<SeqId>((s << 1) |
+                           static_cast<SeqId>(bits[static_cast<std::size_t>(i)]));
+  }
+  return s;
+}
+
+/// Human-readable rendering, rows separated by '/', e.g. "101/110/001".
+inline std::string seq_to_string(SeqId s) {
+  std::string out;
+  for (int ky = 0; ky < kSeqSide; ++ky) {
+    if (ky > 0) out.push_back('/');
+    for (int kx = 0; kx < kSeqSide; ++kx) {
+      out.push_back(seq_bit(s, ky, kx) ? '1' : '0');
+    }
+  }
+  return out;
+}
+
+}  // namespace bkc::bnn

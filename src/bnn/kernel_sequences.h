@@ -1,0 +1,37 @@
+#pragma once
+// Bridging between the channel-packed kernel layout and the per-channel
+// bit sequences the compression scheme operates on.
+//
+// A 3x3 kernel with O output channels and I input channels contains
+// O * I bit sequences (one per channel slice). The canonical enumeration
+// order used throughout the repository - and by the compressed stream
+// format - is output-channel-major: sequence index = o * I + i.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bnn/bitpack.h"
+#include "bnn/bitseq.h"
+
+namespace bkc::bnn {
+
+/// Extract the bit sequence of one channel slice (o, i) of a 3x3 kernel
+/// under the natural mapping (Fig. 2).
+SeqId sequence_at(const PackedKernel& kernel, std::int64_t o, std::int64_t i);
+
+/// Overwrite one channel slice (o, i) with the given bit sequence.
+void set_sequence_at(PackedKernel& kernel, std::int64_t o, std::int64_t i,
+                     SeqId seq);
+
+/// All bit sequences of a 3x3 kernel in canonical (o-major) order.
+/// Precondition: kernel is 3x3.
+std::vector<SeqId> extract_sequences(const PackedKernel& kernel);
+
+/// Rebuild a 3x3 packed kernel from sequences in canonical order.
+/// Precondition: sequences.size() == out_channels * in_channels.
+PackedKernel kernel_from_sequences(std::int64_t out_channels,
+                                   std::int64_t in_channels,
+                                   std::span<const SeqId> sequences);
+
+}  // namespace bkc::bnn

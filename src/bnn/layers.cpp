@@ -1,0 +1,398 @@
+#include "bnn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bnn/binarize.h"
+#include "util/check.h"
+
+namespace bkc::bnn {
+
+std::string op_class_name(OpClass op) {
+  switch (op) {
+    case OpClass::kInputLayer:
+      return "Input Layer";
+    case OpClass::kOutputLayer:
+      return "Output Layer";
+    case OpClass::kConv1x1:
+      return "Conv 1x1";
+    case OpClass::kConv3x3:
+      return "Conv 3x3";
+    case OpClass::kOther:
+      return "Others";
+  }
+  unreachable("op_class_name: bad enum");
+}
+
+// ---------------------------------------------------------------- Sign
+
+Tensor SignActivation::forward(const Tensor& input) const {
+  return binarize(input);
+}
+
+LayerInfo SignActivation::info(const FeatureShape& input_shape) const {
+  return {.name = name(),
+          .op_class = OpClass::kOther,
+          .storage_bits = 0,
+          .macs = static_cast<std::uint64_t>(input_shape.size()),
+          .precision_bits = 32,
+          .output_shape = input_shape};
+}
+
+// ---------------------------------------------------------- BinaryConv2d
+
+BinaryConv2d::BinaryConv2d(std::string name, PackedKernel kernel,
+                           ConvGeometry geometry)
+    : name_(std::move(name)), kernel_(std::move(kernel)), geometry_(geometry) {}
+
+Tensor BinaryConv2d::forward(const Tensor& input) const {
+  return binary_conv2d(input, kernel_, geometry_);
+}
+
+LayerInfo BinaryConv2d::info(const FeatureShape& input_shape) const {
+  const auto& k = kernel_.shape();
+  const FeatureShape out = geometry_.output_shape(input_shape, k);
+  const bool is_3x3 = k.kernel_h == 3 && k.kernel_w == 3;
+  const bool is_1x1 = k.kernel_h == 1 && k.kernel_w == 1;
+  return {.name = name_,
+          .op_class = is_3x3   ? OpClass::kConv3x3
+                      : is_1x1 ? OpClass::kConv1x1
+                               : OpClass::kOther,
+          .storage_bits = static_cast<std::uint64_t>(k.size()),
+          .macs = static_cast<std::uint64_t>(out.size() *
+                                             k.receptive_size()),
+          .precision_bits = 1,
+          .output_shape = out};
+}
+
+void BinaryConv2d::set_kernel(PackedKernel kernel) {
+  check(kernel.shape() == kernel_.shape(),
+        "BinaryConv2d::set_kernel: shape must not change");
+  kernel_ = std::move(kernel);
+}
+
+// ------------------------------------------------------------ Int8Conv2d
+
+namespace {
+
+/// Symmetric scale so that max |w| maps to 127.
+float symmetric_scale(std::span<const float> values) {
+  float max_abs = 0.0f;
+  for (float v : values) max_abs = std::max(max_abs, std::abs(v));
+  return max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+}
+
+std::int8_t quantize_value(float v, float scale) {
+  const float q = std::round(v / scale);
+  return static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+}
+
+}  // namespace
+
+Int8Conv2d::Int8Conv2d(std::string name, const WeightTensor& weights,
+                       std::vector<float> bias, ConvGeometry geometry,
+                       OpClass op_class)
+    : name_(std::move(name)),
+      shape_(weights.shape()),
+      bias_(std::move(bias)),
+      geometry_(geometry),
+      op_class_(op_class) {
+  check(static_cast<std::int64_t>(bias_.size()) == shape_.out_channels,
+        "Int8Conv2d: bias size must equal out_channels");
+  weight_scale_ = symmetric_scale(weights.data());
+  weights_.reserve(static_cast<std::size_t>(weights.size()));
+  for (float v : weights.data()) {
+    weights_.push_back(quantize_value(v, weight_scale_));
+  }
+}
+
+Tensor Int8Conv2d::forward(const Tensor& input) const {
+  const FeatureShape in_shape = input.shape();
+  check(in_shape.channels == shape_.in_channels,
+        "Int8Conv2d: input channel mismatch");
+  const FeatureShape out_shape = geometry_.output_shape(in_shape, shape_);
+
+  // Dynamic symmetric activation quantization (padding quantizes to 0).
+  const float in_scale = symmetric_scale(input.data());
+  std::vector<std::int8_t> q_input(input.data().size());
+  for (std::size_t i = 0; i < q_input.size(); ++i) {
+    q_input[i] = quantize_value(input.data()[i], in_scale);
+  }
+  auto q_at = [&](std::int64_t c, std::int64_t y, std::int64_t x) -> int {
+    if (y < 0 || y >= in_shape.height || x < 0 || x >= in_shape.width) {
+      return 0;
+    }
+    return q_input[static_cast<std::size_t>(
+        (c * in_shape.height + y) * in_shape.width + x)];
+  };
+  auto w_at = [&](std::int64_t o, std::int64_t i, std::int64_t ky,
+                  std::int64_t kx) -> int {
+    return weights_[static_cast<std::size_t>(
+        ((o * shape_.in_channels + i) * shape_.kernel_h + ky) *
+            shape_.kernel_w +
+        kx)];
+  };
+
+  Tensor out(out_shape);
+  const float dequant = weight_scale_ * in_scale;
+  for (std::int64_t o = 0; o < out_shape.channels; ++o) {
+    for (std::int64_t oy = 0; oy < out_shape.height; ++oy) {
+      for (std::int64_t ox = 0; ox < out_shape.width; ++ox) {
+        std::int64_t acc = 0;
+        const std::int64_t base_y = oy * geometry_.stride - geometry_.padding;
+        const std::int64_t base_x = ox * geometry_.stride - geometry_.padding;
+        for (std::int64_t i = 0; i < shape_.in_channels; ++i) {
+          for (std::int64_t ky = 0; ky < shape_.kernel_h; ++ky) {
+            for (std::int64_t kx = 0; kx < shape_.kernel_w; ++kx) {
+              acc += static_cast<std::int64_t>(
+                         q_at(i, base_y + ky, base_x + kx)) *
+                     w_at(o, i, ky, kx);
+            }
+          }
+        }
+        out.at(o, oy, ox) = static_cast<float>(acc) * dequant +
+                            bias_[static_cast<std::size_t>(o)];
+      }
+    }
+  }
+  return out;
+}
+
+LayerInfo Int8Conv2d::info(const FeatureShape& input_shape) const {
+  const FeatureShape out = geometry_.output_shape(input_shape, shape_);
+  return {.name = name_,
+          .op_class = op_class_,
+          .storage_bits = static_cast<std::uint64_t>(shape_.size()) * 8 +
+                          static_cast<std::uint64_t>(bias_.size()) * 32,
+          .macs = static_cast<std::uint64_t>(out.size() *
+                                             shape_.receptive_size()),
+          .precision_bits = 8,
+          .output_shape = out};
+}
+
+// ------------------------------------------------------------ Int8Linear
+
+Int8Linear::Int8Linear(std::string name, std::int64_t in_features,
+                       std::int64_t out_features, std::vector<float> weights,
+                       std::vector<float> bias)
+    : name_(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      bias_(std::move(bias)) {
+  check(static_cast<std::int64_t>(weights.size()) ==
+            in_features * out_features,
+        "Int8Linear: weight size must be in*out");
+  check(static_cast<std::int64_t>(bias_.size()) == out_features,
+        "Int8Linear: bias size must equal out_features");
+  weight_scale_ = symmetric_scale(weights);
+  weights_.reserve(weights.size());
+  for (float v : weights) weights_.push_back(quantize_value(v, weight_scale_));
+}
+
+Tensor Int8Linear::forward(const Tensor& input) const {
+  const FeatureShape in_shape = input.shape();
+  check(in_shape.channels == in_features_ && in_shape.height == 1 &&
+            in_shape.width == 1,
+        "Int8Linear expects a Cx1x1 input");
+  const float in_scale = symmetric_scale(input.data());
+  std::vector<std::int8_t> q_input(input.data().size());
+  for (std::size_t i = 0; i < q_input.size(); ++i) {
+    q_input[i] = quantize_value(input.data()[i], in_scale);
+  }
+  Tensor out(FeatureShape{out_features_, 1, 1});
+  const float dequant = weight_scale_ * in_scale;
+  for (std::int64_t o = 0; o < out_features_; ++o) {
+    std::int64_t acc = 0;
+    const std::size_t row = static_cast<std::size_t>(o * in_features_);
+    for (std::int64_t i = 0; i < in_features_; ++i) {
+      acc += static_cast<std::int64_t>(
+                 weights_[row + static_cast<std::size_t>(i)]) *
+             q_input[static_cast<std::size_t>(i)];
+    }
+    out.at(o, 0, 0) = static_cast<float>(acc) * dequant +
+                      bias_[static_cast<std::size_t>(o)];
+  }
+  return out;
+}
+
+LayerInfo Int8Linear::info(const FeatureShape& input_shape) const {
+  check(input_shape.channels == in_features_,
+        "Int8Linear::info: channel mismatch");
+  return {.name = name_,
+          .op_class = OpClass::kOutputLayer,
+          .storage_bits =
+              static_cast<std::uint64_t>(in_features_ * out_features_) * 8 +
+              static_cast<std::uint64_t>(out_features_) * 32,
+          .macs = static_cast<std::uint64_t>(in_features_ * out_features_),
+          .precision_bits = 8,
+          .output_shape = {out_features_, 1, 1}};
+}
+
+// -------------------------------------------------------------- BatchNorm
+
+BatchNorm::BatchNorm(std::string name, std::vector<float> scale,
+                     std::vector<float> bias)
+    : name_(std::move(name)), scale_(std::move(scale)), bias_(std::move(bias)) {
+  check(scale_.size() == bias_.size(),
+        "BatchNorm: scale/bias size mismatch");
+  check(!scale_.empty(), "BatchNorm: empty parameters");
+}
+
+Tensor BatchNorm::forward(const Tensor& input) const {
+  const auto& s = input.shape();
+  check(s.channels == static_cast<std::int64_t>(scale_.size()),
+        "BatchNorm: channel mismatch");
+  Tensor out = input;
+  for (std::int64_t c = 0; c < s.channels; ++c) {
+    const float scale = scale_[static_cast<std::size_t>(c)];
+    const float bias = bias_[static_cast<std::size_t>(c)];
+    for (std::int64_t y = 0; y < s.height; ++y) {
+      for (std::int64_t x = 0; x < s.width; ++x) {
+        out.at(c, y, x) = out.at(c, y, x) * scale + bias;
+      }
+    }
+  }
+  return out;
+}
+
+LayerInfo BatchNorm::info(const FeatureShape& input_shape) const {
+  return {.name = name_,
+          .op_class = OpClass::kOther,
+          .storage_bits = static_cast<std::uint64_t>(scale_.size()) * 2 * 32,
+          .macs = static_cast<std::uint64_t>(input_shape.size()),
+          .precision_bits = 32,
+          .output_shape = input_shape};
+}
+
+// ---------------------------------------------------------------- RPReLU
+
+RPReLU::RPReLU(std::string name, std::vector<float> shift_in,
+               std::vector<float> slope, std::vector<float> shift_out)
+    : name_(std::move(name)),
+      shift_in_(std::move(shift_in)),
+      slope_(std::move(slope)),
+      shift_out_(std::move(shift_out)) {
+  check(shift_in_.size() == slope_.size() &&
+            slope_.size() == shift_out_.size(),
+        "RPReLU: parameter size mismatch");
+  check(!slope_.empty(), "RPReLU: empty parameters");
+}
+
+Tensor RPReLU::forward(const Tensor& input) const {
+  const auto& s = input.shape();
+  check(s.channels == static_cast<std::int64_t>(slope_.size()),
+        "RPReLU: channel mismatch");
+  Tensor out = input;
+  for (std::int64_t c = 0; c < s.channels; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    for (std::int64_t y = 0; y < s.height; ++y) {
+      for (std::int64_t x = 0; x < s.width; ++x) {
+        const float v = out.at(c, y, x) - shift_in_[ci];
+        out.at(c, y, x) =
+            (v > 0.0f ? v : slope_[ci] * v) + shift_out_[ci];
+      }
+    }
+  }
+  return out;
+}
+
+LayerInfo RPReLU::info(const FeatureShape& input_shape) const {
+  return {.name = name_,
+          .op_class = OpClass::kOther,
+          .storage_bits = static_cast<std::uint64_t>(slope_.size()) * 3 * 32,
+          .macs = static_cast<std::uint64_t>(input_shape.size()),
+          .precision_bits = 32,
+          .output_shape = input_shape};
+}
+
+// --------------------------------------------------------------- pooling
+
+Tensor AvgPool2x2::forward(const Tensor& input) const {
+  const auto& s = input.shape();
+  check(s.height % 2 == 0 && s.width % 2 == 0,
+        "AvgPool2x2 expects even spatial dims");
+  Tensor out(FeatureShape{s.channels, s.height / 2, s.width / 2});
+  for (std::int64_t c = 0; c < s.channels; ++c) {
+    for (std::int64_t y = 0; y < s.height / 2; ++y) {
+      for (std::int64_t x = 0; x < s.width / 2; ++x) {
+        out.at(c, y, x) = 0.25f * (input.at(c, 2 * y, 2 * x) +
+                                   input.at(c, 2 * y, 2 * x + 1) +
+                                   input.at(c, 2 * y + 1, 2 * x) +
+                                   input.at(c, 2 * y + 1, 2 * x + 1));
+      }
+    }
+  }
+  return out;
+}
+
+LayerInfo AvgPool2x2::info(const FeatureShape& input_shape) const {
+  return {.name = name(),
+          .op_class = OpClass::kOther,
+          .storage_bits = 0,
+          .macs = static_cast<std::uint64_t>(input_shape.size()),
+          .precision_bits = 32,
+          .output_shape = {input_shape.channels, input_shape.height / 2,
+                           input_shape.width / 2}};
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input) const {
+  const auto& s = input.shape();
+  Tensor out(FeatureShape{s.channels, 1, 1});
+  const auto area = static_cast<float>(s.height * s.width);
+  for (std::int64_t c = 0; c < s.channels; ++c) {
+    float sum = 0.0f;
+    for (std::int64_t y = 0; y < s.height; ++y) {
+      for (std::int64_t x = 0; x < s.width; ++x) sum += input.at(c, y, x);
+    }
+    out.at(c, 0, 0) = sum / area;
+  }
+  return out;
+}
+
+LayerInfo GlobalAvgPool::info(const FeatureShape& input_shape) const {
+  return {.name = name(),
+          .op_class = OpClass::kOther,
+          .storage_bits = 0,
+          .macs = static_cast<std::uint64_t>(input_shape.size()),
+          .precision_bits = 32,
+          .output_shape = {input_shape.channels, 1, 1}};
+}
+
+// -------------------------------------------------------------- topology
+
+Tensor residual_add(const Tensor& a, const Tensor& b) {
+  check(a.shape() == b.shape(), "residual_add: shape mismatch (" +
+                                    a.shape().to_string() + " vs " +
+                                    b.shape().to_string() + ")");
+  Tensor out = a;
+  auto bd = b.data();
+  auto od = out.data();
+  for (std::size_t i = 0; i < od.size(); ++i) od[i] += bd[i];
+  return out;
+}
+
+Tensor concat_channels(const Tensor& a, const Tensor& b) {
+  check(a.shape().height == b.shape().height &&
+            a.shape().width == b.shape().width,
+        "concat_channels: spatial mismatch");
+  const FeatureShape out_shape{a.shape().channels + b.shape().channels,
+                               a.shape().height, a.shape().width};
+  Tensor out(out_shape);
+  for (std::int64_t c = 0; c < a.shape().channels; ++c) {
+    for (std::int64_t y = 0; y < out_shape.height; ++y) {
+      for (std::int64_t x = 0; x < out_shape.width; ++x) {
+        out.at(c, y, x) = a.at(c, y, x);
+      }
+    }
+  }
+  for (std::int64_t c = 0; c < b.shape().channels; ++c) {
+    for (std::int64_t y = 0; y < out_shape.height; ++y) {
+      for (std::int64_t x = 0; x < out_shape.width; ++x) {
+        out.at(a.shape().channels + c, y, x) = b.at(c, y, x);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bkc::bnn

@@ -1,0 +1,202 @@
+#pragma once
+// Neural network layers used by ReActNet (Fig. 1 of the paper).
+//
+// The binary fast path (BinaryConv2d) runs on the channel-packed layout;
+// everything else (batch norm, RPReLU, int8 stem/classifier) runs in
+// full precision exactly as the paper describes: "batch-norm and Prelu
+// activation functions ... are computed using full-precision", while the
+// input and output layers are quantized to 8 bits (Sec II-B).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bnn/bconv.h"
+#include "bnn/bitpack.h"
+#include "tensor/tensor.h"
+
+namespace bkc::bnn {
+
+/// Operation classes used for the Table I storage / execution-time
+/// breakdown.
+enum class OpClass {
+  kInputLayer,   ///< 8-bit quantized stem convolution
+  kOutputLayer,  ///< 8-bit quantized fully-connected classifier
+  kConv1x1,      ///< 1-bit 1x1 convolutions
+  kConv3x3,      ///< 1-bit 3x3 convolutions (the compression target)
+  kOther,        ///< activation / normalization layers etc.
+};
+
+/// Printable name matching the paper's Table I rows.
+std::string op_class_name(OpClass op);
+
+/// Static description of a layer instance: storage, arithmetic work and
+/// output shape for a given input shape. This feeds both the Table I
+/// accounting and the hwsim trace generator.
+struct LayerInfo {
+  std::string name;
+  OpClass op_class = OpClass::kOther;
+  std::uint64_t storage_bits = 0;  ///< parameter storage
+  std::uint64_t macs = 0;          ///< multiply-accumulate (or equivalent) ops
+  int precision_bits = 32;         ///< operand precision (1, 8 or 32)
+  FeatureShape output_shape;
+};
+
+/// Abstract layer: stateless forward over CHW float tensors. Binary
+/// layers binarize internally; the float interface keeps the residual
+/// topology of ReActNet straightforward.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+  Layer(Layer&&) = default;
+  Layer& operator=(Layer&&) = default;
+
+  virtual Tensor forward(const Tensor& input) const = 0;
+  virtual LayerInfo info(const FeatureShape& input_shape) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Sign activation (Eq. 1): maps every element to +/-1.
+class SignActivation final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) const override;
+  LayerInfo info(const FeatureShape& input_shape) const override;
+  std::string name() const override { return "sign"; }
+};
+
+/// 1-bit convolution (Eq. 2). Holds the channel-packed kernel; forward
+/// binarizes + packs its input (the sign that precedes each binary conv
+/// in ReActNet) and runs the xnor/popcount engine.
+class BinaryConv2d final : public Layer {
+ public:
+  BinaryConv2d(std::string name, PackedKernel kernel, ConvGeometry geometry);
+
+  Tensor forward(const Tensor& input) const override;
+  LayerInfo info(const FeatureShape& input_shape) const override;
+  std::string name() const override { return name_; }
+
+  const PackedKernel& kernel() const { return kernel_; }
+  /// Replace the kernel (used by the compression pipeline to install
+  /// clustered weights). The shape must not change.
+  void set_kernel(PackedKernel kernel);
+  const ConvGeometry& geometry() const { return geometry_; }
+
+ private:
+  std::string name_;
+  PackedKernel kernel_;
+  ConvGeometry geometry_;
+};
+
+/// 8-bit quantized convolution for the input layer. Weights are stored
+/// as int8 with a single symmetric scale; activations are quantized
+/// dynamically per call.
+class Int8Conv2d final : public Layer {
+ public:
+  /// Quantizes `weights` symmetrically to int8.
+  Int8Conv2d(std::string name, const WeightTensor& weights,
+             std::vector<float> bias, ConvGeometry geometry,
+             OpClass op_class = OpClass::kInputLayer);
+
+  Tensor forward(const Tensor& input) const override;
+  LayerInfo info(const FeatureShape& input_shape) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  KernelShape shape_;
+  std::vector<std::int8_t> weights_;
+  std::vector<float> bias_;
+  float weight_scale_ = 1.0f;
+  ConvGeometry geometry_;
+  OpClass op_class_;
+};
+
+/// 8-bit quantized fully-connected classifier (the output layer).
+/// Expects a Cx1x1 input.
+class Int8Linear final : public Layer {
+ public:
+  /// weights laid out [out][in]; quantized symmetrically to int8.
+  Int8Linear(std::string name, std::int64_t in_features,
+             std::int64_t out_features, std::vector<float> weights,
+             std::vector<float> bias);
+
+  Tensor forward(const Tensor& input) const override;
+  LayerInfo info(const FeatureShape& input_shape) const override;
+  std::string name() const override { return name_; }
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+
+ private:
+  std::string name_;
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  std::vector<std::int8_t> weights_;
+  std::vector<float> bias_;
+  float weight_scale_ = 1.0f;
+};
+
+/// Inference-folded batch normalization: y = scale_c * x + bias_c.
+class BatchNorm final : public Layer {
+ public:
+  BatchNorm(std::string name, std::vector<float> scale,
+            std::vector<float> bias);
+
+  Tensor forward(const Tensor& input) const override;
+  LayerInfo info(const FeatureShape& input_shape) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<float> scale_;
+  std::vector<float> bias_;
+};
+
+/// ReActNet's RPReLU activation: a PReLU whose input and output are
+/// shifted by learnable per-channel biases:
+///   y = PReLU(x - shift_in_c) + shift_out_c
+/// with PReLU(v) = v > 0 ? v : slope_c * v. (Sec II-B: "the Prelu
+/// activation is biased by shifting and reshaping its input".)
+class RPReLU final : public Layer {
+ public:
+  RPReLU(std::string name, std::vector<float> shift_in,
+         std::vector<float> slope, std::vector<float> shift_out);
+
+  Tensor forward(const Tensor& input) const override;
+  LayerInfo info(const FeatureShape& input_shape) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<float> shift_in_;
+  std::vector<float> slope_;
+  std::vector<float> shift_out_;
+};
+
+/// 2x2 stride-2 average pooling (ReActNet's downsampling shortcut).
+class AvgPool2x2 final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) const override;
+  LayerInfo info(const FeatureShape& input_shape) const override;
+  std::string name() const override { return "avgpool2x2"; }
+};
+
+/// Global average pooling to Cx1x1 (before the classifier).
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) const override;
+  LayerInfo info(const FeatureShape& input_shape) const override;
+  std::string name() const override { return "global_avgpool"; }
+};
+
+/// Element-wise sum of two equally-shaped tensors (residual connection).
+Tensor residual_add(const Tensor& a, const Tensor& b);
+
+/// Channel-wise concatenation of two tensors with equal spatial dims.
+Tensor concat_channels(const Tensor& a, const Tensor& b);
+
+}  // namespace bkc::bnn

@@ -1,0 +1,81 @@
+#pragma once
+// Model containers and the storage/work accounting behind Table I.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bnn/layers.h"
+#include "tensor/tensor.h"
+
+namespace bkc::bnn {
+
+/// One operation instance with resolved shapes - the unit of accounting
+/// for Table I and the unit of work for the hwsim timing model.
+struct OpRecord {
+  std::string name;
+  OpClass op_class = OpClass::kOther;
+  std::uint64_t storage_bits = 0;
+  std::uint64_t macs = 0;
+  int precision_bits = 32;
+  FeatureShape input_shape;
+  FeatureShape output_shape;
+  /// Kernel shape for convolution/fc ops; zeros otherwise.
+  KernelShape kernel_shape;
+  ConvGeometry geometry;
+};
+
+/// Aggregated per-class storage and arithmetic (the data behind
+/// Table I's storage column; the execution-time column comes from
+/// hwsim::perf_model running over the same OpRecords).
+struct StorageBreakdown {
+  std::map<OpClass, std::uint64_t> bits_by_class;
+  std::map<OpClass, std::uint64_t> macs_by_class;
+  std::uint64_t total_bits = 0;
+  std::uint64_t total_macs = 0;
+
+  void add(const OpRecord& op);
+  double bits_fraction(OpClass op) const;
+  double macs_fraction(OpClass op) const;
+};
+
+StorageBreakdown summarize(const std::vector<OpRecord>& ops);
+
+/// A simple layer pipeline with no branches. ReActNet's residual blocks
+/// are modelled by the dedicated classes in reactnet.h; Sequential is
+/// used for small test/example models and for the stem/classifier.
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns a non-owning typed handle.
+  template <typename L, typename... Args>
+  L* emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  Tensor forward(const Tensor& input) const;
+
+  std::size_t size() const { return layers_.size(); }
+  const Layer& layer(std::size_t i) const;
+
+  /// Resolve shapes through the pipeline starting from `input_shape`.
+  std::vector<OpRecord> op_records(const FeatureShape& input_shape) const;
+
+  FeatureShape output_shape(const FeatureShape& input_shape) const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Convert a LayerInfo at a given input shape into an OpRecord.
+OpRecord make_record(const LayerInfo& info, const FeatureShape& input_shape,
+                     const KernelShape& kernel_shape = {},
+                     ConvGeometry geometry = {});
+
+}  // namespace bkc::bnn

@@ -1,0 +1,263 @@
+#include "bnn/reactnet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bkc::bnn {
+
+std::vector<BlockConfig> mobilenet_v1_schedule(std::int64_t width_divisor) {
+  check(width_divisor >= 1, "mobilenet_v1_schedule: divisor must be >= 1");
+  // (in, out, stride) of the 13 depthwise-separable stages of
+  // MobileNet-V1 at width multiplier 1.0.
+  static constexpr std::int64_t kSchedule[13][3] = {
+      {32, 64, 1},    {64, 128, 2},   {128, 128, 1}, {128, 256, 2},
+      {256, 256, 1},  {256, 512, 2},  {512, 512, 1}, {512, 512, 1},
+      {512, 512, 1},  {512, 512, 1},  {512, 512, 1}, {512, 1024, 2},
+      {1024, 1024, 1}};
+  std::vector<BlockConfig> blocks;
+  blocks.reserve(13);
+  auto scale = [&](std::int64_t c) {
+    return std::max<std::int64_t>(4, c / width_divisor);
+  };
+  for (const auto& row : kSchedule) {
+    blocks.push_back({scale(row[0]), scale(row[1]), row[2]});
+  }
+  return blocks;
+}
+
+ReActNetConfig paper_reactnet_config(std::uint64_t seed) {
+  ReActNetConfig config;
+  config.seed = seed;
+  return config;
+}
+
+ReActNetConfig tiny_reactnet_config(std::uint64_t seed) {
+  ReActNetConfig config;
+  config.input_size = 32;
+  config.stem_channels = 4;
+  config.num_classes = 10;
+  config.blocks = mobilenet_v1_schedule(/*width_divisor=*/8);
+  config.seed = seed;
+  return config;
+}
+
+namespace {
+
+/// Batch-norm scale that keeps post-conv magnitudes around +/-1: binary
+/// dot products range over [-K, K], so scale ~ 1/sqrt(K) with a little
+/// per-channel jitter stands in for trained parameters.
+std::vector<float> bn_scales(WeightGenerator& gen, std::int64_t channels,
+                             std::int64_t receptive) {
+  auto scales = gen.sample_floats(static_cast<std::size_t>(channels), 0.1f,
+                                  1.0f);
+  const float norm =
+      1.0f / std::sqrt(static_cast<float>(std::max<std::int64_t>(receptive, 1)));
+  for (float& s : scales) s = std::max(0.25f, s) * norm;
+  return scales;
+}
+
+std::unique_ptr<RPReLU> make_rprelu(const std::string& name,
+                                    WeightGenerator& gen,
+                                    std::int64_t channels) {
+  const auto n = static_cast<std::size_t>(channels);
+  return std::make_unique<RPReLU>(
+      name, gen.sample_floats(n, 0.1f), gen.sample_floats(n, 0.05f, 0.25f),
+      gen.sample_floats(n, 0.1f));
+}
+
+}  // namespace
+
+BasicBlock::BasicBlock(std::string name, const BlockConfig& config,
+                       WeightGenerator& generator,
+                       const SequenceDistribution& dist)
+    : name_(std::move(name)), config_(config) {
+  check(config.in_channels > 0 && config.out_channels > 0,
+        "BasicBlock: channels must be positive");
+  check(config.stride == 1 || config.stride == 2,
+        "BasicBlock: stride must be 1 or 2");
+  check(config.out_channels == config.in_channels ||
+            config.out_channels == 2 * config.in_channels,
+        "BasicBlock: out must be in or 2*in (MobileNet schedule)");
+  const std::int64_t in = config.in_channels;
+  const bool expand = config.out_channels == 2 * in;
+
+  conv3_ = std::make_unique<BinaryConv2d>(
+      name_ + ".conv3x3", generator.sample_kernel3x3(in, in, dist),
+      ConvGeometry{config.stride, 1});
+  bn1_ = std::make_unique<BatchNorm>(
+      name_ + ".bn1", bn_scales(generator, in, in * 9),
+      generator.sample_floats(static_cast<std::size_t>(in), 0.05f));
+  act1_ = make_rprelu(name_ + ".rprelu1", generator, in);
+
+  conv1a_ = std::make_unique<BinaryConv2d>(
+      name_ + ".conv1x1a",
+      generator.sample_kernel(KernelShape{in, in, 1, 1}), ConvGeometry{1, 0});
+  bn2a_ = std::make_unique<BatchNorm>(
+      name_ + ".bn2a", bn_scales(generator, in, in),
+      generator.sample_floats(static_cast<std::size_t>(in), 0.05f));
+  if (expand) {
+    conv1b_ = std::make_unique<BinaryConv2d>(
+        name_ + ".conv1x1b",
+        generator.sample_kernel(KernelShape{in, in, 1, 1}),
+        ConvGeometry{1, 0});
+    bn2b_ = std::make_unique<BatchNorm>(
+        name_ + ".bn2b", bn_scales(generator, in, in),
+        generator.sample_floats(static_cast<std::size_t>(in), 0.05f));
+  }
+  act2_ = make_rprelu(name_ + ".rprelu2", generator, config.out_channels);
+}
+
+Tensor BasicBlock::forward(const Tensor& input) const {
+  check(input.shape().channels == config_.in_channels,
+        "BasicBlock: input channel mismatch");
+  // First half: 3x3 binary conv with residual shortcut.
+  Tensor y = bn1_->forward(conv3_->forward(input));
+  const Tensor shortcut =
+      config_.stride == 2 ? pool_.forward(input) : input;
+  y = act1_->forward(residual_add(y, shortcut));
+
+  // Second half: 1x1 binary conv(s) with residual shortcut(s);
+  // expansion duplicates the channel count via two parallel convs.
+  Tensor za = bn2a_->forward(conv1a_->forward(y));
+  za = residual_add(za, y);
+  if (conv1b_) {
+    Tensor zb = bn2b_->forward(conv1b_->forward(y));
+    zb = residual_add(zb, y);
+    return act2_->forward(concat_channels(za, zb));
+  }
+  return act2_->forward(za);
+}
+
+std::vector<BinaryConv2d*> BasicBlock::conv1x1s() {
+  std::vector<BinaryConv2d*> convs{conv1a_.get()};
+  if (conv1b_) convs.push_back(conv1b_.get());
+  return convs;
+}
+
+std::vector<const BinaryConv2d*> BasicBlock::conv1x1s() const {
+  std::vector<const BinaryConv2d*> convs{conv1a_.get()};
+  if (conv1b_) convs.push_back(conv1b_.get());
+  return convs;
+}
+
+FeatureShape BasicBlock::output_shape(const FeatureShape& input) const {
+  const FeatureShape mid =
+      conv3_->geometry().output_shape(input, conv3_->kernel().shape());
+  return {config_.out_channels, mid.height, mid.width};
+}
+
+std::vector<OpRecord> BasicBlock::op_records(const FeatureShape& input) const {
+  std::vector<OpRecord> records;
+  auto push = [&](const Layer& layer, const FeatureShape& shape,
+                  const KernelShape& kernel, ConvGeometry geometry) {
+    records.push_back(
+        make_record(layer.info(shape), shape, kernel, geometry));
+    return records.back().output_shape;
+  };
+  FeatureShape shape = input;
+  shape = push(*conv3_, shape, conv3_->kernel().shape(), conv3_->geometry());
+  shape = push(*bn1_, shape, {}, {});
+  shape = push(*act1_, shape, {}, {});
+  const FeatureShape mid = shape;
+  shape = push(*conv1a_, mid, conv1a_->kernel().shape(), conv1a_->geometry());
+  shape = push(*bn2a_, shape, {}, {});
+  if (conv1b_) {
+    push(*conv1b_, mid, conv1b_->kernel().shape(), conv1b_->geometry());
+    push(*bn2b_, {config_.in_channels, mid.height, mid.width}, {}, {});
+  }
+  const FeatureShape out{config_.out_channels, mid.height, mid.width};
+  records.push_back(make_record(act2_->info(out), out));
+  return records;
+}
+
+ReActNet::ReActNet(const ReActNetConfig& config) : config_(config) {
+  check(!config.blocks.empty(), "ReActNet: at least one block required");
+  check(config.blocks.front().in_channels == config.stem_channels,
+        "ReActNet: stem channels must match the first block");
+  WeightGenerator generator(config.seed);
+
+  stem_ = std::make_unique<Int8Conv2d>(
+      "stem.conv3x3",
+      generator.sample_float_weights(
+          KernelShape{config.stem_channels, config.input_channels, 3, 3},
+          0.5f),
+      generator.sample_floats(static_cast<std::size_t>(config.stem_channels),
+                              0.05f),
+      ConvGeometry{config.stem_stride, 1}, OpClass::kInputLayer);
+
+  const auto& targets = paper_table2_targets();
+  blocks_.reserve(config.blocks.size());
+  for (std::size_t b = 0; b < config.blocks.size(); ++b) {
+    const SequenceDistribution dist =
+        config.calibrated_weights
+            ? SequenceDistribution::fitted(targets[b % targets.size()])
+            : SequenceDistribution::uniform();
+    blocks_.emplace_back("block" + std::to_string(b + 1), config.blocks[b],
+                         generator, dist);
+  }
+
+  const std::int64_t features = config.blocks.back().out_channels;
+  classifier_ = std::make_unique<Int8Linear>(
+      "classifier.fc", features, config.num_classes,
+      generator.sample_floats(
+          static_cast<std::size_t>(features * config.num_classes), 0.05f),
+      generator.sample_floats(static_cast<std::size_t>(config.num_classes),
+                              0.01f));
+}
+
+Tensor ReActNet::forward(const Tensor& image) const {
+  check(image.shape() == input_shape(),
+        "ReActNet::forward: expected input " + input_shape().to_string() +
+            ", got " + image.shape().to_string());
+  Tensor x = stem_->forward(image);
+  for (const auto& block : blocks_) x = block.forward(x);
+  x = pool_.forward(x);
+  return classifier_->forward(x);
+}
+
+FeatureShape ReActNet::input_shape() const {
+  return {config_.input_channels, config_.input_size, config_.input_size};
+}
+
+BasicBlock& ReActNet::block(std::size_t i) {
+  check(i < blocks_.size(), "ReActNet::block index out of range");
+  return blocks_[i];
+}
+
+const BasicBlock& ReActNet::block(std::size_t i) const {
+  check(i < blocks_.size(), "ReActNet::block index out of range");
+  return blocks_[i];
+}
+
+std::vector<OpRecord> ReActNet::op_records() const {
+  std::vector<OpRecord> records;
+  FeatureShape shape = input_shape();
+  {
+    const LayerInfo info = stem_->info(shape);
+    records.push_back(make_record(
+        info, shape,
+        KernelShape{config_.stem_channels, config_.input_channels, 3, 3},
+        ConvGeometry{config_.stem_stride, 1}));
+    shape = info.output_shape;
+  }
+  for (const auto& block : blocks_) {
+    auto block_records = block.op_records(shape);
+    shape = block.output_shape(shape);
+    records.insert(records.end(),
+                   std::make_move_iterator(block_records.begin()),
+                   std::make_move_iterator(block_records.end()));
+  }
+  {
+    const LayerInfo info = pool_.info(shape);
+    records.push_back(make_record(info, shape));
+    shape = info.output_shape;
+  }
+  records.push_back(make_record(classifier_->info(shape), shape));
+  return records;
+}
+
+StorageBreakdown ReActNet::storage() const { return summarize(op_records()); }
+
+}  // namespace bkc::bnn

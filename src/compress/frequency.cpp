@@ -1,0 +1,80 @@
+#include "compress/frequency.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "bnn/kernel_sequences.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace bkc::compress {
+
+FrequencyTable FrequencyTable::from_sequences(
+    std::span<const SeqId> sequences) {
+  FrequencyTable table;
+  for (SeqId s : sequences) table.add(s);
+  return table;
+}
+
+FrequencyTable FrequencyTable::from_kernel(const bnn::PackedKernel& kernel) {
+  const auto sequences = bnn::extract_sequences(kernel);
+  return from_sequences(sequences);
+}
+
+void FrequencyTable::add(SeqId s, std::uint64_t count) {
+  check(s < bnn::kNumSequences, "FrequencyTable::add: id out of range");
+  counts_[s] += count;
+  total_ += count;
+}
+
+void FrequencyTable::merge(const FrequencyTable& other) {
+  for (int s = 0; s < bnn::kNumSequences; ++s) {
+    counts_[s] += other.counts_[s];
+  }
+  total_ += other.total_;
+}
+
+std::uint64_t FrequencyTable::count(SeqId s) const {
+  check(s < bnn::kNumSequences, "FrequencyTable::count: id out of range");
+  return counts_[s];
+}
+
+std::size_t FrequencyTable::distinct() const {
+  std::size_t n = 0;
+  for (auto c : counts_) n += (c > 0);
+  return n;
+}
+
+std::vector<SeqId> FrequencyTable::ranked() const {
+  std::vector<SeqId> order(bnn::kNumSequences);
+  std::iota(order.begin(), order.end(), static_cast<SeqId>(0));
+  std::stable_sort(order.begin(), order.end(), [&](SeqId a, SeqId b) {
+    return counts_[a] > counts_[b];
+  });
+  return order;
+}
+
+double FrequencyTable::share(SeqId s) const {
+  check(total_ > 0, "FrequencyTable::share: empty table");
+  return static_cast<double>(count(s)) / static_cast<double>(total_);
+}
+
+double FrequencyTable::top_k_share(std::size_t k) const {
+  check(total_ > 0, "FrequencyTable::top_k_share: empty table");
+  const auto order = ranked();
+  k = std::min(k, order.size());
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < k; ++i) sum += counts_[order[i]];
+  return static_cast<double>(sum) / static_cast<double>(total_);
+}
+
+double FrequencyTable::entropy_bits() const {
+  check(total_ > 0, "FrequencyTable::entropy_bits: empty table");
+  std::array<double, bnn::kNumSequences> weights{};
+  for (int s = 0; s < bnn::kNumSequences; ++s) {
+    weights[s] = static_cast<double>(counts_[s]);
+  }
+  return bkc::entropy_bits(weights);
+}
+
+}  // namespace bkc::compress

@@ -1,0 +1,69 @@
+#pragma once
+// Frequency analysis of bit sequences (Sec III-A of the paper).
+//
+// The whole compression scheme is driven by one statistic: how often
+// each of the 512 possible bit sequences occurs in the 3x3 kernels of a
+// basic block. FrequencyTable accumulates those counts and provides the
+// ranked views used by the Huffman construction (Sec III-B), the
+// clustering pass (Sec III-C) and the Table II / Fig. 3 benches.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bnn/bitpack.h"
+#include "bnn/bitseq.h"
+
+namespace bkc::compress {
+
+using bnn::SeqId;
+
+/// Occurrence counts for all 512 bit sequences.
+class FrequencyTable {
+ public:
+  FrequencyTable() = default;
+
+  /// Count every sequence in a list.
+  static FrequencyTable from_sequences(std::span<const SeqId> sequences);
+
+  /// Count every channel of a 3x3 packed kernel.
+  static FrequencyTable from_kernel(const bnn::PackedKernel& kernel);
+
+  /// Add `count` occurrences of sequence `s`.
+  void add(SeqId s, std::uint64_t count = 1);
+
+  /// Merge another table into this one.
+  void merge(const FrequencyTable& other);
+
+  std::uint64_t count(SeqId s) const;
+  std::uint64_t total() const { return total_; }
+  const std::array<std::uint64_t, bnn::kNumSequences>& counts() const {
+    return counts_;
+  }
+
+  /// Number of distinct sequences with a non-zero count ("the number of
+  /// unique sequences ... is typically low", Sec I).
+  std::size_t distinct() const;
+
+  /// All 512 sequence ids ordered by descending count (ties by id, so
+  /// the ranking is deterministic).
+  std::vector<SeqId> ranked() const;
+
+  /// Fraction of occurrences belonging to sequence `s`.
+  double share(SeqId s) const;
+
+  /// Fraction of occurrences covered by the k most frequent sequences
+  /// (the Table II metric).
+  double top_k_share(std::size_t k) const;
+
+  /// Shannon entropy in bits per sequence - the bound no prefix code can
+  /// beat. Precondition: total() > 0.
+  double entropy_bits() const;
+
+ private:
+  std::array<std::uint64_t, bnn::kNumSequences> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace bkc::compress

@@ -1,0 +1,193 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace bkc::compress {
+
+namespace {
+
+/// Build Huffman code lengths from counts with the classic two-queue /
+/// heap construction. Returns a length per symbol (0 = no code).
+std::array<std::uint8_t, bnn::kNumSequences> build_lengths(
+    const FrequencyTable& table) {
+  struct Node {
+    std::uint64_t weight;
+    int index;  // tie-break for determinism
+    int left = -1;
+    int right = -1;
+    SeqId symbol = 0;
+    bool leaf = false;
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(2 * bnn::kNumSequences);
+  for (int s = 0; s < bnn::kNumSequences; ++s) {
+    const std::uint64_t c = table.count(static_cast<SeqId>(s));
+    if (c > 0) {
+      nodes.push_back({.weight = c,
+                       .index = static_cast<int>(nodes.size()),
+                       .symbol = static_cast<SeqId>(s),
+                       .leaf = true});
+    }
+  }
+  check(!nodes.empty(), "HuffmanCodec: empty frequency table");
+
+  std::array<std::uint8_t, bnn::kNumSequences> lengths{};
+  if (nodes.size() == 1) {
+    // A degenerate alphabet still needs one bit per symbol so the
+    // stream length encodes the occurrence count.
+    lengths[nodes[0].symbol] = 1;
+    return lengths;
+  }
+
+  auto cmp = [&nodes](int a, int b) {
+    if (nodes[static_cast<std::size_t>(a)].weight !=
+        nodes[static_cast<std::size_t>(b)].weight) {
+      return nodes[static_cast<std::size_t>(a)].weight >
+             nodes[static_cast<std::size_t>(b)].weight;
+    }
+    return nodes[static_cast<std::size_t>(a)].index >
+           nodes[static_cast<std::size_t>(b)].index;
+  };
+  std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+  const int leaf_count = static_cast<int>(nodes.size());
+  for (int i = 0; i < leaf_count; ++i) heap.push(i);
+  while (heap.size() > 1) {
+    const int a = heap.top();
+    heap.pop();
+    const int b = heap.top();
+    heap.pop();
+    nodes.push_back({.weight = nodes[static_cast<std::size_t>(a)].weight +
+                               nodes[static_cast<std::size_t>(b)].weight,
+                     .index = static_cast<int>(nodes.size()),
+                     .left = a,
+                     .right = b});
+    heap.push(static_cast<int>(nodes.size()) - 1);
+  }
+  // Depth-first traversal assigning depths as code lengths.
+  struct Frame {
+    int node;
+    std::uint8_t depth;
+  };
+  std::vector<Frame> stack{{heap.top(), 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[static_cast<std::size_t>(f.node)];
+    if (n.leaf) {
+      lengths[n.symbol] = f.depth;
+    } else {
+      stack.push_back({n.left, static_cast<std::uint8_t>(f.depth + 1)});
+      stack.push_back({n.right, static_cast<std::uint8_t>(f.depth + 1)});
+    }
+  }
+  return lengths;
+}
+
+}  // namespace
+
+HuffmanCodec HuffmanCodec::build(const FrequencyTable& table) {
+  HuffmanCodec codec;
+  codec.lengths_ = build_lengths(table);
+
+  // Canonicalize: symbols sorted by (length, id) get consecutive codes.
+  std::vector<SeqId> symbols;
+  for (int s = 0; s < bnn::kNumSequences; ++s) {
+    if (codec.lengths_[s] != 0) symbols.push_back(static_cast<SeqId>(s));
+  }
+  std::sort(symbols.begin(), symbols.end(), [&](SeqId a, SeqId b) {
+    if (codec.lengths_[a] != codec.lengths_[b]) {
+      return codec.lengths_[a] < codec.lengths_[b];
+    }
+    return a < b;
+  });
+  codec.symbols_ = symbols;
+  for (SeqId s : symbols) {
+    codec.max_length_ = std::max<unsigned>(codec.max_length_,
+                                           codec.lengths_[s]);
+  }
+  check(codec.max_length_ < 64, "HuffmanCodec: code too long");
+
+  for (SeqId s : symbols) ++codec.count_per_length_[codec.lengths_[s]];
+  std::uint32_t code = 0;
+  std::uint32_t offset = 0;
+  for (unsigned l = 1; l <= codec.max_length_; ++l) {
+    codec.first_code_[l] = code;
+    codec.symbol_offset_[l] = offset;
+    code = (code + codec.count_per_length_[l]) << 1;
+    offset += codec.count_per_length_[l];
+  }
+  // Assign each symbol its canonical code.
+  std::array<std::uint32_t, 64> next{};
+  for (unsigned l = 1; l <= codec.max_length_; ++l) {
+    next[l] = codec.first_code_[l];
+  }
+  for (SeqId s : symbols) {
+    codec.codes_[s] = next[codec.lengths_[s]]++;
+  }
+  return codec;
+}
+
+unsigned HuffmanCodec::code_length(SeqId s) const {
+  check(s < bnn::kNumSequences, "HuffmanCodec: id out of range");
+  check(lengths_[s] != 0, "HuffmanCodec: sequence has no codeword");
+  return lengths_[s];
+}
+
+void HuffmanCodec::encode_one(BitWriter& writer, SeqId s) const {
+  writer.write_bits(codes_[s], code_length(s));
+}
+
+SeqId HuffmanCodec::decode_one(BitReader& reader) const {
+  // Canonical decode: extend the code one bit at a time; at each length,
+  // codes of that length occupy [first_code, first_code + count).
+  std::uint32_t code = 0;
+  for (unsigned l = 1; l <= max_length_; ++l) {
+    code = (code << 1) | static_cast<std::uint32_t>(reader.read_bit());
+    const std::uint32_t count = count_per_length_[l];
+    if (count != 0 && code < first_code_[l] + count) {
+      check(code >= first_code_[l], "HuffmanCodec: corrupt stream");
+      return symbols_[symbol_offset_[l] + (code - first_code_[l])];
+    }
+  }
+  unreachable("HuffmanCodec::decode_one: no codeword matched");
+}
+
+std::vector<std::uint8_t> HuffmanCodec::encode(
+    std::span<const SeqId> sequences, std::size_t& bit_count) const {
+  BitWriter writer;
+  for (SeqId s : sequences) encode_one(writer, s);
+  bit_count = writer.bit_size();
+  return writer.take();
+}
+
+std::vector<SeqId> HuffmanCodec::decode(std::span<const std::uint8_t> stream,
+                                        std::size_t bit_count,
+                                        std::size_t count) const {
+  BitReader reader(stream, bit_count);
+  std::vector<SeqId> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(decode_one(reader));
+  return out;
+}
+
+std::uint64_t HuffmanCodec::encoded_bits(const FrequencyTable& table) const {
+  std::uint64_t bits = 0;
+  for (int s = 0; s < bnn::kNumSequences; ++s) {
+    const std::uint64_t c = table.count(static_cast<SeqId>(s));
+    if (c > 0) bits += c * code_length(static_cast<SeqId>(s));
+  }
+  return bits;
+}
+
+double HuffmanCodec::compression_ratio(const FrequencyTable& table) const {
+  const std::uint64_t plain =
+      table.total() * static_cast<std::uint64_t>(bnn::kSeqBits);
+  const std::uint64_t coded = encoded_bits(table);
+  check(coded > 0, "HuffmanCodec: empty stream");
+  return static_cast<double>(plain) / static_cast<double>(coded);
+}
+
+}  // namespace bkc::compress

@@ -1,0 +1,60 @@
+#include "compress/kernel_codec.h"
+
+#include "bnn/kernel_sequences.h"
+#include "util/check.h"
+
+namespace bkc::compress {
+
+double CompressedKernel::ratio() const {
+  check(stream_bits > 0, "CompressedKernel: empty stream");
+  return static_cast<double>(uncompressed_bits()) /
+         static_cast<double>(stream_bits);
+}
+
+CompressedKernel compress_kernel(const bnn::PackedKernel& kernel,
+                                 const GroupedHuffmanCodec& codec) {
+  const auto sequences = bnn::extract_sequences(kernel);
+  CompressedKernel out;
+  out.out_channels = kernel.shape().out_channels;
+  out.in_channels = kernel.shape().in_channels;
+  out.stream = codec.encode(sequences, out.stream_bits);
+  return out;
+}
+
+bnn::PackedKernel decompress_kernel(const CompressedKernel& compressed,
+                                    const GroupedHuffmanCodec& codec) {
+  const auto sequences =
+      codec.decode(compressed.stream, compressed.stream_bits,
+                   compressed.num_sequences());
+  return bnn::kernel_from_sequences(compressed.out_channels,
+                                    compressed.in_channels, sequences);
+}
+
+KernelCompression compress_kernel_pipeline(const bnn::PackedKernel& kernel,
+                                           bool apply_clustering,
+                                           const GroupedTreeConfig& tree,
+                                           const ClusteringConfig& clustering) {
+  FrequencyTable frequencies = FrequencyTable::from_kernel(kernel);
+  ClusteringResult cluster_result;
+  bnn::PackedKernel coded_kernel = kernel;
+  if (apply_clustering) {
+    cluster_result = cluster_sequences(frequencies, clustering);
+    coded_kernel = cluster_result.apply(kernel);
+  } else {
+    // cluster_sequences with an empty rare set yields the identity; the
+    // default-constructed result is already the identity remap.
+    cluster_result = ClusteringResult{};
+  }
+  FrequencyTable coded_frequencies =
+      FrequencyTable::from_kernel(coded_kernel);
+  GroupedHuffmanCodec codec(coded_frequencies, tree);
+  CompressedKernel compressed = compress_kernel(coded_kernel, codec);
+  return {.frequencies = std::move(frequencies),
+          .clustering = std::move(cluster_result),
+          .coded_frequencies = std::move(coded_frequencies),
+          .codec = std::move(codec),
+          .compressed = std::move(compressed),
+          .coded_kernel = std::move(coded_kernel)};
+}
+
+}  // namespace bkc::compress

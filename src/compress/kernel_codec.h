@@ -1,0 +1,70 @@
+#pragma once
+// Whole-kernel compression: the compressed stream format (Sec IV-B).
+//
+// Encoded bit sequences have variable length, so channel packing cannot
+// be done offline; the codewords are simply stored "consecutively in
+// memory as a sequence of encoded words" in the canonical order
+// (output-channel-major, then input channel). Decoding reproduces the
+// channel-packed kernel bit-exactly.
+
+#include <cstdint>
+#include <vector>
+
+#include "bnn/bitpack.h"
+#include "compress/clustering.h"
+#include "compress/grouped_huffman.h"
+
+namespace bkc::compress {
+
+/// A 3x3 binary kernel in compressed form. Mirrors the hardware
+/// configuration structure of Table III: number of sequences, pointer
+/// (here: owned bytes) and length of the compressed stream; the Huffman
+/// tree travels as the codec that produced the stream.
+struct CompressedKernel {
+  std::int64_t out_channels = 0;
+  std::int64_t in_channels = 0;
+  std::vector<std::uint8_t> stream;
+  std::size_t stream_bits = 0;
+
+  std::size_t num_sequences() const {
+    return static_cast<std::size_t>(out_channels * in_channels);
+  }
+  /// Size of the uncompressed kernel (one bit per weight).
+  std::uint64_t uncompressed_bits() const {
+    return static_cast<std::uint64_t>(out_channels * in_channels *
+                                      bnn::kSeqBits);
+  }
+  /// Compression ratio achieved on this kernel (stream only, like the
+  /// paper's Table V).
+  double ratio() const;
+};
+
+/// Encode every channel of `kernel` with `codec`.
+CompressedKernel compress_kernel(const bnn::PackedKernel& kernel,
+                                 const GroupedHuffmanCodec& codec);
+
+/// Decode back to the channel-packed layout. Inverse of compress_kernel
+/// for any kernel whose sequences all have codewords.
+bnn::PackedKernel decompress_kernel(const CompressedKernel& compressed,
+                                    const GroupedHuffmanCodec& codec);
+
+/// End-to-end per-kernel pipeline outcome (analysis -> optional
+/// clustering -> codec -> stream), used by examples and tests that work
+/// on a single kernel rather than a whole model.
+struct KernelCompression {
+  FrequencyTable frequencies;        ///< before clustering
+  ClusteringResult clustering;       ///< identity when disabled
+  FrequencyTable coded_frequencies;  ///< after clustering
+  GroupedHuffmanCodec codec;
+  CompressedKernel compressed;
+  /// The kernel the stream actually encodes (clustered when enabled).
+  bnn::PackedKernel coded_kernel;
+};
+
+/// Run the full pipeline on one kernel.
+KernelCompression compress_kernel_pipeline(
+    const bnn::PackedKernel& kernel, bool apply_clustering,
+    const GroupedTreeConfig& tree = GroupedTreeConfig::paper(),
+    const ClusteringConfig& clustering = {});
+
+}  // namespace bkc::compress

@@ -1,0 +1,120 @@
+#include "compress/pipeline.h"
+
+#include "compress/huffman.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace bkc::compress {
+
+ModelCompressor::ModelCompressor(GroupedTreeConfig tree,
+                                 ClusteringConfig clustering)
+    : tree_(std::move(tree)), clustering_(clustering) {
+  tree_.validate();
+}
+
+BlockReport ModelCompressor::analyze_block(
+    const std::string& name, const bnn::PackedKernel& kernel) const {
+  BlockReport report;
+  report.block_name = name;
+
+  const FrequencyTable table = FrequencyTable::from_kernel(kernel);
+  report.num_sequences = table.total();
+  report.distinct_sequences = table.distinct();
+  report.top16_share = table.top_k_share(16);
+  report.top64_share = table.top_k_share(64);
+  report.top256_share = table.top_k_share(256);
+  report.entropy_bits = table.entropy_bits();
+  report.uncompressed_bits = table.total() * bnn::kSeqBits;
+
+  // Encoding column: grouped tree straight from the observed counts.
+  const GroupedHuffmanCodec plain_codec(table, tree_);
+  report.encoding_bits = plain_codec.encoded_bits(table);
+  report.encoding_ratio = plain_codec.compression_ratio(table);
+  for (int n = 0; n < tree_.num_nodes(); ++n) {
+    report.node_shares_encoding.push_back(plain_codec.node_share(n, table));
+  }
+
+  // Clustering column: remove rare sequences first.
+  const ClusteringResult clustering = cluster_sequences(table, clustering_);
+  const FrequencyTable clustered = clustering.apply(table);
+  const GroupedHuffmanCodec clustered_codec(clustered, tree_);
+  report.clustering_bits = clustered_codec.encoded_bits(clustered);
+  report.clustering_ratio = clustered_codec.compression_ratio(clustered);
+  for (int n = 0; n < tree_.num_nodes(); ++n) {
+    report.node_shares_clustering.push_back(
+        clustered_codec.node_share(n, clustered));
+  }
+  report.flipped_bit_fraction = clustering.flipped_bit_fraction();
+  report.replaced_sequences = clustering.replacements().size();
+
+  // Full-Huffman bound on the clustered alphabet.
+  const HuffmanCodec huffman = HuffmanCodec::build(clustered);
+  report.huffman_ratio = huffman.compression_ratio(clustered);
+  return report;
+}
+
+ModelReport ModelCompressor::analyze(const bnn::ReActNet& model) const {
+  ModelReport report;
+  std::vector<double> encoding_ratios;
+  std::vector<double> clustering_ratios;
+
+  for (std::size_t b = 0; b < model.num_blocks(); ++b) {
+    const auto& block = model.block(b);
+    BlockReport block_report =
+        analyze_block(block.name(), block.conv3x3().kernel());
+    report.conv3x3_bits += block_report.uncompressed_bits;
+    report.conv3x3_encoding_bits += block_report.encoding_bits;
+    report.conv3x3_clustering_bits += block_report.clustering_bits;
+
+    const FrequencyTable table =
+        FrequencyTable::from_kernel(block.conv3x3().kernel());
+    const ClusteringResult clustering = cluster_sequences(table, clustering_);
+    const GroupedHuffmanCodec codec(clustering.apply(table), tree_);
+    report.decode_table_bits += codec.table_bits();
+
+    encoding_ratios.push_back(block_report.encoding_ratio);
+    clustering_ratios.push_back(block_report.clustering_ratio);
+    report.blocks.push_back(std::move(block_report));
+  }
+  check(!report.blocks.empty(), "ModelCompressor: model has no blocks");
+
+  report.mean_encoding_ratio = mean(encoding_ratios);
+  report.mean_clustering_ratio = mean(clustering_ratios);
+
+  report.model_bits = model.storage().total_bits;
+  const std::uint64_t other_bits = report.model_bits - report.conv3x3_bits;
+  report.model_ratio =
+      static_cast<double>(report.model_bits) /
+      static_cast<double>(other_bits + report.conv3x3_clustering_bits);
+  report.model_ratio_with_tables =
+      static_cast<double>(report.model_bits) /
+      static_cast<double>(other_bits + report.conv3x3_clustering_bits +
+                          report.decode_table_bits);
+  return report;
+}
+
+std::vector<KernelCompression> ModelCompressor::compress_blocks(
+    const bnn::ReActNet& model, bool apply_clustering) const {
+  std::vector<KernelCompression> out;
+  out.reserve(model.num_blocks());
+  for (std::size_t b = 0; b < model.num_blocks(); ++b) {
+    out.push_back(compress_kernel_pipeline(model.block(b).conv3x3().kernel(),
+                                           apply_clustering, tree_,
+                                           clustering_));
+  }
+  return out;
+}
+
+ModelReport ModelCompressor::compress_and_install(
+    bnn::ReActNet& model) const {
+  ModelReport report = analyze(model);
+  for (std::size_t b = 0; b < model.num_blocks(); ++b) {
+    auto& conv = model.block(b).conv3x3();
+    const FrequencyTable table = FrequencyTable::from_kernel(conv.kernel());
+    const ClusteringResult clustering = cluster_sequences(table, clustering_);
+    conv.set_kernel(clustering.apply(conv.kernel()));
+  }
+  return report;
+}
+
+}  // namespace bkc::compress

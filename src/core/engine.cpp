@@ -1,0 +1,66 @@
+#include "core/engine.h"
+
+#include "util/check.h"
+
+namespace bkc {
+
+Engine::Engine(const bnn::ReActNetConfig& model_config,
+               const EngineOptions& options)
+    : options_(options),
+      model_(model_config),
+      compressor_(options.tree, options.clustering_config) {}
+
+const compress::ModelReport& Engine::compress() {
+  if (compressed_) return report_;
+  report_ = compressor_.analyze(model_);
+  if (options_.clustering) {
+    // Install the clustered kernels: the deployed network evaluates the
+    // same weights the streams encode.
+    for (std::size_t b = 0; b < model_.num_blocks(); ++b) {
+      auto& conv = model_.block(b).conv3x3();
+      const auto table =
+          compress::FrequencyTable::from_kernel(conv.kernel());
+      const auto clustering =
+          compress::cluster_sequences(table, options_.clustering_config);
+      conv.set_kernel(clustering.apply(conv.kernel()));
+    }
+  }
+  streams_ = compressor_.compress_blocks(model_, /*apply_clustering=*/false);
+  compressed_ = true;
+  return report_;
+}
+
+Tensor Engine::classify(const Tensor& image) const {
+  return model_.forward(image);
+}
+
+bool Engine::verify_streams() const {
+  check(compressed_, "Engine::verify_streams: call compress() first");
+  for (std::size_t b = 0; b < streams_.size(); ++b) {
+    const auto& stream = streams_[b];
+    const bnn::PackedKernel decoded =
+        compress::decompress_kernel(stream.compressed, stream.codec);
+    if (!(decoded == model_.block(b).conv3x3().kernel())) return false;
+  }
+  return true;
+}
+
+hwsim::SpeedupReport Engine::simulate_speedup(
+    const hwsim::CpuParams& cpu, const hwsim::DecoderParams& decoder,
+    const hwsim::SamplingParams& sampling) const {
+  check(compressed_, "Engine::simulate_speedup: call compress() first");
+  return hwsim::compare_model(model_, compressor_, cpu, decoder, sampling);
+}
+
+const compress::ModelReport& Engine::report() const {
+  check(compressed_, "Engine::report: call compress() first");
+  return report_;
+}
+
+const std::vector<compress::KernelCompression>& Engine::block_streams()
+    const {
+  check(compressed_, "Engine::block_streams: call compress() first");
+  return streams_;
+}
+
+}  // namespace bkc

@@ -1,0 +1,73 @@
+#pragma once
+// The top-level public API of the library.
+//
+// Engine bundles the whole system of the paper behind one object:
+// build a ReActNet (calibrated synthetic weights), compress its 3x3
+// binary kernels with the simplified Huffman tree + clustering, run
+// inference from the (clustered) kernels, verify the compressed streams
+// decode bit-exactly, and estimate the hardware-assisted speedup on the
+// A53 timing model. See examples/quickstart.cpp for a tour.
+
+#include <vector>
+
+#include "bnn/reactnet.h"
+#include "compress/pipeline.h"
+#include "hwsim/perf_model.h"
+
+namespace bkc {
+
+/// Compression knobs for the engine.
+struct EngineOptions {
+  /// Run the Sec III-C clustering pass (Table V "Clustering" column)
+  /// before encoding; when false only the variable-length encoding is
+  /// applied (Table V "Encoding" column) and inference is bit-exact.
+  bool clustering = true;
+  compress::GroupedTreeConfig tree = compress::GroupedTreeConfig::paper();
+  compress::ClusteringConfig clustering_config = {};
+};
+
+/// End-to-end facade over the model, the codec and the timing model.
+class Engine {
+ public:
+  explicit Engine(
+      const bnn::ReActNetConfig& model_config = bnn::paper_reactnet_config(),
+      const EngineOptions& options = {});
+
+  /// Compress every 3x3 binary kernel. When clustering is enabled the
+  /// clustered kernels are installed into the model (that is what the
+  /// deployed network evaluates). Idempotent.
+  const compress::ModelReport& compress();
+
+  bool is_compressed() const { return compressed_; }
+
+  /// Classify one image (input_channels x input_size x input_size);
+  /// returns class scores. Uses the installed kernels.
+  Tensor classify(const Tensor& image) const;
+
+  /// Decode every compressed stream and check it reproduces the
+  /// installed kernels bit-exactly. Precondition: compress() was called.
+  bool verify_streams() const;
+
+  /// Simulate the three execution variants on the timing model.
+  /// Precondition: compress() was called.
+  hwsim::SpeedupReport simulate_speedup(
+      const hwsim::CpuParams& cpu = {},
+      const hwsim::DecoderParams& decoder = {},
+      const hwsim::SamplingParams& sampling = {}) const;
+
+  const bnn::ReActNet& model() const { return model_; }
+  bnn::ReActNet& model() { return model_; }
+  const compress::ModelReport& report() const;
+  const std::vector<compress::KernelCompression>& block_streams() const;
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  EngineOptions options_;
+  bnn::ReActNet model_;
+  compress::ModelCompressor compressor_;
+  bool compressed_ = false;
+  compress::ModelReport report_;
+  std::vector<compress::KernelCompression> streams_;
+};
+
+}  // namespace bkc

@@ -1,0 +1,103 @@
+#include "hwsim/core.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/check.h"
+
+namespace bkc::hwsim {
+
+InOrderCore::InOrderCore(const CpuParams& params)
+    : params_(params), memory_(params) {}
+
+void InOrderCore::reset() {
+  memory_.reset();
+  cycle_ = 0;
+}
+
+CoreStats InOrderCore::run(std::span<const MicroOp> trace,
+                           DecoderUnitRuntime* decoder) {
+  CoreStats stats;
+  stats.uops = trace.size();
+  const std::uint64_t l1_misses_before = memory_.l1().misses();
+  const std::uint64_t l2_misses_before = memory_.l2().misses();
+  const std::uint64_t dram_before = memory_.dram_accesses();
+  const std::uint64_t start_cycle = cycle_;
+
+  // Completion times of the most recent uops (dependency window).
+  constexpr std::size_t kWindow = 1024;
+  std::array<std::uint64_t, kWindow> complete{};
+
+  std::uint64_t issue_cycle = cycle_;
+  int slots_left = params_.issue_width;
+  std::uint64_t last_complete = cycle_;
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const MicroOp& uop = trace[i];
+
+    // Dependency: stall issue until the producer's result is ready.
+    std::uint64_t ready = issue_cycle;
+    if (uop.dep != 0) {
+      check(uop.dep <= i && uop.dep < kWindow,
+            "InOrderCore: dependency outside the window");
+      const std::uint64_t producer_done = complete[(i - uop.dep) % kWindow];
+      if (producer_done > ready) {
+        const std::uint64_t stall = producer_done - ready;
+        const UopKind producer_kind = trace[i - uop.dep].kind;
+        if (producer_kind == UopKind::kLoadPacked) {
+          stats.ldps_stall_cycles += stall;
+        } else {
+          stats.load_stall_cycles += stall;
+        }
+        ready = producer_done;
+      }
+    }
+    if (ready > issue_cycle) {
+      issue_cycle = ready;
+      slots_left = params_.issue_width;
+    }
+    if (slots_left == 0) {
+      ++issue_cycle;
+      slots_left = params_.issue_width;
+    }
+    --slots_left;
+
+    // Execute.
+    std::uint64_t done = issue_cycle + 1;
+    switch (uop.kind) {
+      case UopKind::kScalar:
+      case UopKind::kVector:
+      case UopKind::kBranch:
+        break;
+      case UopKind::kLoad: {
+        const AccessResult r = memory_.access(
+            uop.addr, std::max<int>(uop.bytes, 1), issue_cycle);
+        done = issue_cycle + static_cast<std::uint64_t>(r.latency);
+        break;
+      }
+      case UopKind::kStore: {
+        // Stores retire through the write buffer; they touch the cache
+        // (write-allocate) but do not stall the pipeline.
+        memory_.access(uop.addr, std::max<int>(uop.bytes, 1), issue_cycle);
+        break;
+      }
+      case UopKind::kLoadPacked: {
+        check(decoder != nullptr,
+              "InOrderCore: kLoadPacked needs a decoder unit");
+        done = decoder->pop(issue_cycle);
+        break;
+      }
+    }
+    complete[i % kWindow] = done;
+    last_complete = std::max(last_complete, done);
+  }
+
+  cycle_ = std::max(issue_cycle + 1, last_complete);
+  stats.cycles = cycle_ - start_cycle;
+  stats.l1_misses = memory_.l1().misses() - l1_misses_before;
+  stats.l2_misses = memory_.l2().misses() - l2_misses_before;
+  stats.dram_accesses = memory_.dram_accesses() - dram_before;
+  return stats;
+}
+
+}  // namespace bkc::hwsim

@@ -1,0 +1,76 @@
+#pragma once
+// A trace-driven in-order dual-issue core model (ARM A53 class).
+//
+// The core consumes a stream of micro-ops with explicit data
+// dependencies. Issue is in order, `issue_width` per cycle; loads do not
+// block issue (the A53 supports a small number of outstanding misses)
+// but any consumer of a load's result stalls until the line returns -
+// which is exactly the "loads to fetch the weights are in the critical
+// path" behaviour the paper builds on (Sec I).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hwsim/cache.h"
+#include "hwsim/decoder_unit.h"
+#include "hwsim/params.h"
+
+namespace bkc::hwsim {
+
+enum class UopKind : std::uint8_t {
+  kScalar,      ///< 1-cycle integer ALU op
+  kVector,      ///< 1-cycle 128-bit NEON op (eor / cnt / add)
+  kLoad,        ///< memory load through the cache hierarchy
+  kStore,       ///< memory store (write-allocate, fire-and-forget)
+  kLoadPacked,  ///< ldps: pop a packed register from the decoding unit
+  kBranch,      ///< predicted branch, occupies an issue slot
+};
+
+/// One micro-op. `dep` is a relative backward distance to the producer
+/// this op must wait for (0 = no dependency, 1 = previous uop, ...).
+struct MicroOp {
+  UopKind kind = UopKind::kScalar;
+  std::uint32_t dep = 0;
+  std::uint64_t addr = 0;  ///< loads/stores
+  std::uint16_t bytes = 0;
+};
+
+/// Outcome of running one trace.
+struct CoreStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t uops = 0;
+  std::uint64_t load_stall_cycles = 0;  ///< cycles lost waiting on loads
+  std::uint64_t ldps_stall_cycles = 0;  ///< cycles lost waiting on ldps
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t dram_accesses = 0;
+};
+
+/// The core. Holds no trace state between run() calls; the memory
+/// hierarchy (and its cache contents) persists across calls so
+/// consecutive traces see warm caches.
+class InOrderCore {
+ public:
+  explicit InOrderCore(const CpuParams& params);
+
+  /// Execute `trace` starting at the current core cycle. If the trace
+  /// contains kLoadPacked uops, `decoder` must be non-null.
+  CoreStats run(std::span<const MicroOp> trace,
+                DecoderUnitRuntime* decoder = nullptr);
+
+  MemoryHierarchy& memory() { return memory_; }
+  const MemoryHierarchy& memory() const { return memory_; }
+
+  std::uint64_t cycle() const { return cycle_; }
+
+  /// Reset timing and cache state.
+  void reset();
+
+ private:
+  CpuParams params_;
+  MemoryHierarchy memory_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace bkc::hwsim

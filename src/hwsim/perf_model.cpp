@@ -1,0 +1,184 @@
+#include "hwsim/perf_model.h"
+
+#include <algorithm>
+
+#include "bnn/kernel_sequences.h"
+#include "util/check.h"
+
+namespace bkc::hwsim {
+
+void ModelTiming::add(OpTiming op) {
+  cycles_by_class[op.op_class] += op.cycles;
+  total_cycles += op.cycles;
+  ops.push_back(std::move(op));
+}
+
+double ModelTiming::fraction(bnn::OpClass op_class) const {
+  check(total_cycles > 0, "ModelTiming: no cycles recorded");
+  const auto it = cycles_by_class.find(op_class);
+  if (it == cycles_by_class.end()) return 0.0;
+  return static_cast<double>(it->second) /
+         static_cast<double>(total_cycles);
+}
+
+std::uint64_t analytic_op_cycles(const bnn::OpRecord& op,
+                                 const CpuParams& cpu) {
+  const auto macs = static_cast<double>(op.macs);
+  double compute = 0.0;
+  switch (op.op_class) {
+    case bnn::OpClass::kInputLayer:
+      compute = macs / cpu.stem_macs_per_cycle;
+      break;
+    case bnn::OpClass::kOutputLayer:
+      // daBNN-style deployments leave the classifier as a scalar fp32
+      // GEMV after dequantization; this is what makes the output layer
+      // ~19% of runtime in the paper's Table I despite its tiny MAC
+      // count.
+      compute = macs * cpu.fc_cycles_per_mac;
+      break;
+    default:
+      compute = macs / cpu.elementwise_ops_per_cycle;
+      break;
+  }
+  // Parameter traffic at DRAM bandwidth (streamed once).
+  const double bytes = static_cast<double>(op.storage_bits) / 8.0;
+  const double traffic = bytes / cpu.dram_bytes_per_cycle;
+  return static_cast<std::uint64_t>(std::max(compute, traffic));
+}
+
+ModelTiming time_model_baseline(const std::vector<bnn::OpRecord>& ops,
+                                const CpuParams& cpu,
+                                const SamplingParams& sampling) {
+  ModelTiming timing;
+  for (const auto& op : ops) {
+    std::uint64_t cycles = 0;
+    const bool binary_conv = op.precision_bits == 1 &&
+                             (op.op_class == bnn::OpClass::kConv3x3 ||
+                              op.op_class == bnn::OpClass::kConv1x1);
+    if (binary_conv) {
+      cycles = simulate_binary_conv_layer(op, ConvVariant::kBaseline,
+                                          nullptr, cpu, {}, sampling)
+                   .cycles;
+    } else {
+      cycles = analytic_op_cycles(op, cpu);
+    }
+    timing.add({.name = op.name, .op_class = op.op_class, .cycles = cycles});
+  }
+  return timing;
+}
+
+double LayerComparison::sw_slowdown() const {
+  check(baseline_cycles > 0, "LayerComparison: baseline is zero");
+  return static_cast<double>(sw_cycles) /
+         static_cast<double>(baseline_cycles);
+}
+
+double LayerComparison::hw_speedup() const {
+  check(hw_cycles > 0, "LayerComparison: hw cycles is zero");
+  return static_cast<double>(baseline_cycles) /
+         static_cast<double>(hw_cycles);
+}
+
+double SpeedupReport::model_sw_slowdown() const {
+  check(total_baseline > 0, "SpeedupReport: empty");
+  return static_cast<double>(total_sw) /
+         static_cast<double>(total_baseline);
+}
+
+double SpeedupReport::model_hw_speedup() const {
+  check(total_hw > 0, "SpeedupReport: empty");
+  return static_cast<double>(total_baseline) /
+         static_cast<double>(total_hw);
+}
+
+double SpeedupReport::conv3x3_sw_slowdown() const {
+  std::uint64_t base = 0;
+  std::uint64_t sw = 0;
+  for (const auto& layer : conv3x3) {
+    base += layer.baseline_cycles;
+    sw += layer.sw_cycles;
+  }
+  check(base > 0, "SpeedupReport: no 3x3 layers");
+  return static_cast<double>(sw) / static_cast<double>(base);
+}
+
+double SpeedupReport::conv3x3_hw_speedup() const {
+  std::uint64_t base = 0;
+  std::uint64_t hw = 0;
+  for (const auto& layer : conv3x3) {
+    base += layer.baseline_cycles;
+    hw += layer.hw_cycles;
+  }
+  check(hw > 0, "SpeedupReport: no 3x3 layers");
+  return static_cast<double>(base) / static_cast<double>(hw);
+}
+
+StreamInfo stream_info_for(const compress::KernelCompression& compression) {
+  const auto sequences = bnn::extract_sequences(compression.coded_kernel);
+  std::vector<std::uint8_t> lengths;
+  lengths.reserve(sequences.size());
+  for (const auto seq : sequences) {
+    lengths.push_back(
+        static_cast<std::uint8_t>(compression.codec.code_length(seq)));
+  }
+  return StreamInfo::from_lengths(std::move(lengths));
+}
+
+SpeedupReport compare_model(const bnn::ReActNet& model,
+                            const compress::ModelCompressor& compressor,
+                            const CpuParams& cpu,
+                            const DecoderParams& decoder,
+                            const SamplingParams& sampling) {
+  SpeedupReport report;
+
+  // Compressed (clustered) streams for every block's 3x3 kernel.
+  const auto compressions =
+      compressor.compress_blocks(model, /*apply_clustering=*/true);
+
+  const auto ops = model.op_records();
+  std::size_t block_index = 0;
+  for (const auto& op : ops) {
+    const bool is_3x3_binary =
+        op.precision_bits == 1 && op.op_class == bnn::OpClass::kConv3x3;
+    if (is_3x3_binary) {
+      check(block_index < compressions.size(),
+            "compare_model: more 3x3 convs than compressed blocks");
+      const StreamInfo stream = stream_info_for(compressions[block_index]);
+      LayerComparison cmp;
+      cmp.name = op.name;
+      cmp.baseline_detail = simulate_binary_conv_layer(
+          op, ConvVariant::kBaseline, nullptr, cpu, decoder, sampling);
+      cmp.sw_detail = simulate_binary_conv_layer(
+          op, ConvVariant::kSwDecode, &stream, cpu, decoder, sampling);
+      cmp.hw_detail = simulate_binary_conv_layer(
+          op, ConvVariant::kHwDecode, &stream, cpu, decoder, sampling);
+      cmp.baseline_cycles = cmp.baseline_detail.cycles;
+      cmp.sw_cycles = cmp.sw_detail.cycles;
+      cmp.hw_cycles = cmp.hw_detail.cycles;
+      report.conv3x3.push_back(std::move(cmp));
+      ++block_index;
+    } else if (op.precision_bits == 1 &&
+               op.op_class == bnn::OpClass::kConv1x1) {
+      report.other_cycles += simulate_binary_conv_layer(
+                                 op, ConvVariant::kBaseline, nullptr, cpu,
+                                 decoder, sampling)
+                                 .cycles;
+    } else {
+      report.other_cycles += analytic_op_cycles(op, cpu);
+    }
+  }
+  check(block_index == compressions.size(),
+        "compare_model: unmatched compressed blocks");
+
+  report.total_baseline = report.other_cycles;
+  report.total_sw = report.other_cycles;
+  report.total_hw = report.other_cycles;
+  for (const auto& layer : report.conv3x3) {
+    report.total_baseline += layer.baseline_cycles;
+    report.total_sw += layer.sw_cycles;
+    report.total_hw += layer.hw_cycles;
+  }
+  return report;
+}
+
+}  // namespace bkc::hwsim

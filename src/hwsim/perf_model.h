@@ -1,0 +1,89 @@
+#pragma once
+// Whole-model timing: the execution-time column of Table I and the
+// paper's two headline performance numbers (software decode 1.47x
+// *slower*, hardware-assisted decode 1.35x *faster* than the
+// uncompressed baseline).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bnn/model.h"
+#include "bnn/reactnet.h"
+#include "compress/pipeline.h"
+#include "hwsim/conv_trace.h"
+#include "hwsim/params.h"
+
+namespace bkc::hwsim {
+
+/// Cycle estimate for one op.
+struct OpTiming {
+  std::string name;
+  bnn::OpClass op_class = bnn::OpClass::kOther;
+  std::uint64_t cycles = 0;
+};
+
+/// Whole-model baseline timing with the per-class aggregation used by
+/// Table I's execution-time column.
+struct ModelTiming {
+  std::vector<OpTiming> ops;
+  std::map<bnn::OpClass, std::uint64_t> cycles_by_class;
+  std::uint64_t total_cycles = 0;
+
+  void add(OpTiming op);
+  double fraction(bnn::OpClass op_class) const;
+};
+
+/// Analytic cycle model for the non-binary ops (stem, classifier,
+/// normalization/activation): throughput-limited compute plus DRAM
+/// bandwidth for their parameter traffic.
+std::uint64_t analytic_op_cycles(const bnn::OpRecord& op,
+                                 const CpuParams& cpu);
+
+/// Baseline timing of every op in a model (binary convs simulated,
+/// everything else analytic).
+ModelTiming time_model_baseline(const std::vector<bnn::OpRecord>& ops,
+                                const CpuParams& cpu = {},
+                                const SamplingParams& sampling = {});
+
+/// Per-3x3-layer variant comparison.
+struct LayerComparison {
+  std::string name;
+  std::uint64_t baseline_cycles = 0;
+  std::uint64_t sw_cycles = 0;
+  std::uint64_t hw_cycles = 0;
+  double sw_slowdown() const;  ///< sw / baseline (> 1 is slower)
+  double hw_speedup() const;   ///< baseline / hw (> 1 is faster)
+  LayerSimResult baseline_detail;
+  LayerSimResult sw_detail;
+  LayerSimResult hw_detail;
+};
+
+/// The full Sec VI performance experiment.
+struct SpeedupReport {
+  std::vector<LayerComparison> conv3x3;
+  std::uint64_t other_cycles = 0;  ///< all non-3x3 ops (variant-invariant)
+  std::uint64_t total_baseline = 0;
+  std::uint64_t total_sw = 0;
+  std::uint64_t total_hw = 0;
+
+  double model_sw_slowdown() const;   ///< paper: 1.47x
+  double model_hw_speedup() const;    ///< paper: 1.35x
+  double conv3x3_sw_slowdown() const;
+  double conv3x3_hw_speedup() const;
+};
+
+/// Run the three variants over every 3x3 binary conv of a ReActNet,
+/// using the clustered compressed streams produced by `compressor`.
+SpeedupReport compare_model(const bnn::ReActNet& model,
+                            const compress::ModelCompressor& compressor,
+                            const CpuParams& cpu = {},
+                            const DecoderParams& decoder = {},
+                            const SamplingParams& sampling = {});
+
+/// Helper: per-sequence codeword lengths (stream order) of a compressed
+/// kernel, for feeding the decoder-unit timing model.
+StreamInfo stream_info_for(const compress::KernelCompression& compression);
+
+}  // namespace bkc::hwsim

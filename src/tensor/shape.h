@@ -1,0 +1,73 @@
+#pragma once
+// Shape algebra for CHW feature maps and OIHW weight tensors.
+
+#include <cstdint>
+#include <string>
+
+#include "util/check.h"
+
+namespace bkc {
+
+/// Shape of a single feature map: channels x height x width. Batch is
+/// always 1 in this repository (edge inference, like the paper).
+struct FeatureShape {
+  std::int64_t channels = 0;
+  std::int64_t height = 0;
+  std::int64_t width = 0;
+
+  std::int64_t size() const { return channels * height * width; }
+  bool operator==(const FeatureShape&) const = default;
+
+  std::string to_string() const {
+    return std::to_string(channels) + "x" + std::to_string(height) + "x" +
+           std::to_string(width);
+  }
+};
+
+/// Shape of a convolution weight tensor: out_channels x in_channels x
+/// kernel_h x kernel_w (OIHW).
+struct KernelShape {
+  std::int64_t out_channels = 0;
+  std::int64_t in_channels = 0;
+  std::int64_t kernel_h = 0;
+  std::int64_t kernel_w = 0;
+
+  std::int64_t size() const {
+    return out_channels * in_channels * kernel_h * kernel_w;
+  }
+  /// Number of weights contributing to one output feature.
+  std::int64_t receptive_size() const {
+    return in_channels * kernel_h * kernel_w;
+  }
+  bool operator==(const KernelShape&) const = default;
+
+  std::string to_string() const {
+    return std::to_string(out_channels) + "x" + std::to_string(in_channels) +
+           "x" + std::to_string(kernel_h) + "x" + std::to_string(kernel_w);
+  }
+};
+
+/// Spatial hyper-parameters of a convolution.
+struct ConvGeometry {
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+
+  /// Output extent for one spatial dimension.
+  std::int64_t out_extent(std::int64_t in, std::int64_t kernel) const {
+    check(stride >= 1, "ConvGeometry: stride must be >= 1");
+    check(padding >= 0, "ConvGeometry: padding must be >= 0");
+    const std::int64_t padded = in + 2 * padding - kernel;
+    check(padded >= 0, "ConvGeometry: kernel larger than padded input");
+    return padded / stride + 1;
+  }
+
+  FeatureShape output_shape(const FeatureShape& in,
+                            const KernelShape& k) const {
+    check(in.channels == k.in_channels,
+          "ConvGeometry: channel mismatch between input and kernel");
+    return {k.out_channels, out_extent(in.height, k.kernel_h),
+            out_extent(in.width, k.kernel_w)};
+  }
+};
+
+}  // namespace bkc

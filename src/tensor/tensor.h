@@ -1,0 +1,84 @@
+#pragma once
+// Minimal dense float tensor in CHW layout.
+//
+// This is the full-precision substrate: reference convolutions, batch
+// norm / PReLU arithmetic and the int8-quantized input/output layers all
+// operate on Tensor. The binary fast path uses the packed containers in
+// bnn/bitpack.h instead.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/check.h"
+
+namespace bkc {
+
+/// Dense row-major float tensor of rank 3 (CHW). Value semantics.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(FeatureShape shape);
+
+  /// Tensor with explicit contents; data.size() must equal shape.size().
+  Tensor(FeatureShape shape, std::vector<float> data);
+
+  const FeatureShape& shape() const { return shape_; }
+  std::int64_t size() const { return shape_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::int64_t c, std::int64_t y, std::int64_t x);
+  float at(std::int64_t c, std::int64_t y, std::int64_t x) const;
+
+  /// Value at (c, y, x) treating out-of-bounds spatial coordinates as
+  /// `pad`. Channels must be in range. Used by reference convolutions.
+  float at_padded(std::int64_t c, std::int64_t y, std::int64_t x,
+                  float pad) const;
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  /// Apply f to every element in place.
+  template <typename F>
+  void transform(F&& f) {
+    for (float& v : data_) v = f(v);
+  }
+
+ private:
+  FeatureShape shape_;
+  std::vector<float> data_;
+};
+
+/// Dense OIHW float weight tensor for reference/full-precision layers.
+class WeightTensor {
+ public:
+  WeightTensor() = default;
+  explicit WeightTensor(KernelShape shape);
+  WeightTensor(KernelShape shape, std::vector<float> data);
+
+  const KernelShape& shape() const { return shape_; }
+  std::int64_t size() const { return shape_.size(); }
+
+  float& at(std::int64_t o, std::int64_t i, std::int64_t ky, std::int64_t kx);
+  float at(std::int64_t o, std::int64_t i, std::int64_t ky,
+           std::int64_t kx) const;
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+ private:
+  KernelShape shape_;
+  std::vector<float> data_;
+};
+
+/// Reference (slow, obviously-correct) float convolution. All binary conv
+/// implementations are tested for exact agreement against this on +/-1
+/// tensors. Padding positions contribute `pad_value` (the paper pads
+/// binary convs with -1, see Sec IV-B).
+Tensor reference_conv2d(const Tensor& input, const WeightTensor& weights,
+                        ConvGeometry geometry, float pad_value = -1.0f);
+
+}  // namespace bkc

@@ -1,0 +1,44 @@
+#pragma once
+// Runtime invariant checking for the bkc library.
+//
+// Following the C++ Core Guidelines (I.6/E.12), preconditions are checked
+// at API boundaries and violations are reported with exceptions carrying a
+// useful message. `check()` is for conditions that depend on caller input;
+// unreachable internal states use `unreachable()`.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace bkc {
+
+/// Thrown when a precondition or invariant documented in a public API is
+/// violated by the caller (bad shape, out-of-range index, malformed stream).
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Verify a caller-facing precondition. Throws CheckError with the message
+/// and source location on failure. Intentionally not compiled out in
+/// release builds: all bkc hot loops hoist their checks outside the loop,
+/// so the cost is negligible while the diagnostics stay available.
+inline void check(bool condition, const std::string& message,
+                  std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw CheckError(std::string(loc.file_name()) + ":" +
+                     std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+/// Report an internal state that should be impossible. Used instead of
+/// assert(false) so the failure is diagnosable in release builds too.
+[[noreturn]] inline void unreachable(
+    const std::string& message,
+    std::source_location loc = std::source_location::current()) {
+  throw std::logic_error(std::string(loc.file_name()) + ":" +
+                         std::to_string(loc.line()) +
+                         ": unreachable: " + message);
+}
+
+}  // namespace bkc

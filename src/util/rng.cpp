@@ -1,0 +1,159 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace bkc {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Expand the seed through splitmix64 as recommended by the xoshiro
+  // authors; guarantees the state is never all-zero.
+  for (auto& word : state_) word = splitmix64(seed);
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  check(bound > 0, "Rng::below requires bound > 0");
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  check(lo <= hi, "Rng::range requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  if (span == 0) return static_cast<std::int64_t>((*this)());
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller. uniform() can return exactly 0, so flip to (0, 1].
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+std::size_t Rng::weighted_pick(std::span<const double> weights) {
+  check(!weights.empty(), "weighted_pick requires non-empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    check(w >= 0.0, "weighted_pick requires non-negative weights");
+    total += w;
+  }
+  check(total > 0.0, "weighted_pick requires a positive weight sum");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric round-off fallthrough
+}
+
+std::vector<std::uint32_t> Rng::permutation(std::size_t n) {
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = below(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+AliasSampler::AliasSampler(std::span<const double> weights) {
+  check(!weights.empty(), "AliasSampler requires non-empty weights");
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    check(w >= 0.0, "AliasSampler requires non-negative weights");
+    total += w;
+  }
+  check(total > 0.0, "AliasSampler requires a positive weight sum");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  // Vose's algorithm: split scaled probabilities into "small" and "large"
+  // worklists and pair each small cell with a large donor.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t l : large) prob_[l] = 1.0;
+  for (std::uint32_t s : small) prob_[s] = 1.0;  // round-off leftovers
+}
+
+std::size_t AliasSampler::sample(Rng& rng) const {
+  const std::size_t cell = rng.below(prob_.size());
+  return rng.uniform() < prob_[cell] ? cell : alias_[cell];
+}
+
+}  // namespace bkc

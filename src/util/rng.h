@@ -1,0 +1,84 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// Everything in this repository that involves randomness (synthetic
+// weights, synthetic activations, property-test inputs) flows through
+// these generators so that every experiment is bit-reproducible from a
+// seed. We use xoshiro256** (Blackman & Vigna) seeded via splitmix64,
+// which is the recommended seeding procedure for the xoshiro family.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bkc {
+
+/// splitmix64 step: used to expand a single 64-bit seed into a full
+/// xoshiro state, and handy on its own as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator so
+/// it can also drive <random> distributions when needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Construct from a 64-bit seed; equal seeds yield equal streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64 random bits.
+  std::uint64_t operator()();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform();
+
+  /// Standard normal variate (Box-Muller; caches the second value).
+  double normal();
+
+  /// Bernoulli draw with probability p of returning true.
+  bool chance(double p);
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  /// Precondition: weights non-empty, all >= 0, sum > 0.
+  std::size_t weighted_pick(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle of an index permutation [0, n).
+  std::vector<std::uint32_t> permutation(std::size_t n);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Sampler for a fixed discrete distribution using the alias method
+/// (Walker / Vose). Construction is O(n); each draw is O(1). Used to
+/// sample millions of 9-bit kernel patterns from a fitted distribution.
+class AliasSampler {
+ public:
+  /// Build from (not necessarily normalised) non-negative weights.
+  /// Precondition: weights non-empty, sum > 0.
+  explicit AliasSampler(std::span<const double> weights);
+
+  /// Draw an index distributed according to the construction weights.
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace bkc

@@ -1,0 +1,93 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bkc {
+
+namespace {
+std::string fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+}  // namespace
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  check(!headers_.empty(), "Table requires at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  check(!rows_.empty(), "Table::add before Table::row");
+  check(rows_.back().size() < headers_.size(),
+        "Table::add: more cells than columns");
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+
+Table& Table::add(double value, int precision) {
+  return add(fixed(value, precision));
+}
+
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+Table& Table::add(std::uint64_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << "|" << std::string(widths[c] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::cout << "\n== " << title << " ==\n" << to_string() << std::flush;
+}
+
+std::string ratio_str(double value, int precision) {
+  return fixed(value, precision) + "x";
+}
+
+std::string percent_str(double fraction, int precision) {
+  return fixed(fraction * 100.0, precision) + "%";
+}
+
+std::string bits_str(std::uint64_t bits) {
+  const double b = static_cast<double>(bits);
+  if (bits >= 1000ULL * 1000ULL) return fixed(b / 1e6, 2) + " Mbit";
+  if (bits >= 1000ULL) return fixed(b / 1e3, 2) + " Kbit";
+  return std::to_string(bits) + " bit";
+}
+
+}  // namespace bkc

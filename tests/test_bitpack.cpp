@@ -1,0 +1,132 @@
+// Tests for channel packing (Fig. 5) and the packed containers.
+
+#include "bnn/bitpack.h"
+
+#include <gtest/gtest.h>
+
+#include "bnn/kernel_sequences.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace bkc::bnn {
+namespace {
+
+TEST(Packing, WordsPerGroup) {
+  EXPECT_EQ(words_per_group(1), 1);
+  EXPECT_EQ(words_per_group(64), 1);
+  EXPECT_EQ(words_per_group(65), 2);
+  EXPECT_EQ(words_per_group(512), 8);
+}
+
+TEST(Packing, TailMask) {
+  EXPECT_EQ(channel_tail_mask(64), ~0ULL);
+  EXPECT_EQ(channel_tail_mask(1), 1ULL);
+  EXPECT_EQ(channel_tail_mask(9), 0x1FFULL);
+  EXPECT_EQ(channel_tail_mask(65), 1ULL);
+}
+
+TEST(PackedFeature, BitsLandInTheRightLane) {
+  PackedFeature f(FeatureShape{130, 2, 2});
+  f.set_bit(0, 0, 0, 1);
+  f.set_bit(64, 0, 0, 1);
+  f.set_bit(129, 1, 1, 1);
+  const auto w00 = f.at(0, 0);
+  ASSERT_EQ(w00.size(), 3u);  // ceil(130/64)
+  EXPECT_EQ(w00[0] & 1, 1u);
+  EXPECT_EQ(w00[1] & 1, 1u);
+  EXPECT_EQ(w00[2], 0u);
+  EXPECT_EQ(f.bit(129, 1, 1), 1);
+  EXPECT_EQ(f.bit(129, 0, 0), 0);
+}
+
+TEST(PackedFeature, RoundtripThroughFloatTensor) {
+  Rng rng(3);
+  Tensor t(FeatureShape{70, 3, 3});
+  for (auto& v : t.data()) {
+    v = rng.chance(0.5) ? 1.0f : -1.0f;
+  }
+  const PackedFeature packed = pack_feature(t);
+  const Tensor back = unpack_feature(packed);
+  ASSERT_EQ(back.shape(), t.shape());
+  for (std::size_t i = 0; i < t.data().size(); ++i) {
+    EXPECT_FLOAT_EQ(back.data()[i], t.data()[i]);
+  }
+}
+
+TEST(PackedFeature, BinarizesBySign) {
+  Tensor t(FeatureShape{1, 1, 2});
+  t.at(0, 0, 0) = 0.0f;   // >= 0 -> +1
+  t.at(0, 0, 1) = -0.1f;  // < 0  -> -1
+  const PackedFeature packed = pack_feature(t);
+  EXPECT_EQ(packed.bit(0, 0, 0), 1);
+  EXPECT_EQ(packed.bit(0, 0, 1), 0);
+}
+
+TEST(PackedKernel, RoundtripThroughFloatWeights) {
+  Rng rng(5);
+  WeightTensor w(KernelShape{4, 100, 3, 3});
+  for (auto& v : w.data()) {
+    v = rng.chance(0.5) ? 0.5f : -0.5f;
+  }
+  const PackedKernel packed = pack_kernel(w);
+  const WeightTensor back = unpack_kernel(packed);
+  for (std::size_t i = 0; i < w.data().size(); ++i) {
+    EXPECT_FLOAT_EQ(back.data()[i], w.data()[i] > 0 ? 1.0f : -1.0f);
+  }
+}
+
+TEST(PackedKernel, EqualityDetectsSingleBitFlip) {
+  PackedKernel a(KernelShape{2, 8, 3, 3});
+  PackedKernel b = a;
+  EXPECT_TRUE(a == b);
+  b.set_bit(1, 3, 2, 2, 1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(PackedKernel, OutOfRangeThrows) {
+  PackedKernel k(KernelShape{2, 8, 3, 3});
+  EXPECT_THROW(k.bit(2, 0, 0, 0), CheckError);
+  EXPECT_THROW(k.bit(0, 8, 0, 0), CheckError);
+  EXPECT_THROW(k.set_bit(0, 0, 0, 0, 2), CheckError);
+}
+
+TEST(KernelSequences, SequenceExtractionMatchesNaturalMapping) {
+  PackedKernel k(KernelShape{1, 1, 3, 3});
+  // Write Fig. 2's 369 = 101/110/001.
+  set_sequence_at(k, 0, 0, 369);
+  EXPECT_EQ(k.bit(0, 0, 0, 0), 1);
+  EXPECT_EQ(k.bit(0, 0, 0, 1), 0);
+  EXPECT_EQ(k.bit(0, 0, 1, 1), 1);
+  EXPECT_EQ(k.bit(0, 0, 2, 2), 1);
+  EXPECT_EQ(sequence_at(k, 0, 0), 369);
+}
+
+TEST(KernelSequences, ExtractRebuildRoundtrip) {
+  Rng rng(7);
+  std::vector<SeqId> seqs(6 * 70);
+  for (auto& s : seqs) s = static_cast<SeqId>(rng.below(kNumSequences));
+  const PackedKernel k = kernel_from_sequences(6, 70, seqs);
+  EXPECT_EQ(extract_sequences(k), seqs);
+}
+
+TEST(KernelSequences, CanonicalOrderIsOutputMajor) {
+  std::vector<SeqId> seqs{10, 20, 30, 40};  // 2 out x 2 in
+  const PackedKernel k = kernel_from_sequences(2, 2, seqs);
+  EXPECT_EQ(sequence_at(k, 0, 0), 10);
+  EXPECT_EQ(sequence_at(k, 0, 1), 20);
+  EXPECT_EQ(sequence_at(k, 1, 0), 30);
+  EXPECT_EQ(sequence_at(k, 1, 1), 40);
+}
+
+TEST(KernelSequences, RejectsNon3x3) {
+  PackedKernel k(KernelShape{1, 4, 1, 1});
+  EXPECT_THROW(extract_sequences(k), CheckError);
+}
+
+TEST(KernelSequences, SizeMismatchThrows) {
+  std::vector<SeqId> seqs(3);
+  EXPECT_THROW(kernel_from_sequences(2, 2, seqs), CheckError);
+}
+
+}  // namespace
+}  // namespace bkc::bnn

@@ -1,0 +1,90 @@
+// Tests for the bit-sequence abstraction (natural mapping, Fig. 2).
+
+#include "bnn/bitseq.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bkc::bnn {
+namespace {
+
+TEST(BitSeq, Constants) {
+  EXPECT_EQ(kSeqBits, 9);
+  EXPECT_EQ(kNumSequences, 512);
+}
+
+TEST(BitSeq, NaturalMappingCorners) {
+  // Position (0,0) is the MSB, (2,2) the LSB - Fig. 2's convention.
+  EXPECT_EQ(seq_bit(256, 0, 0), 1);
+  EXPECT_EQ(seq_bit(256, 2, 2), 0);
+  EXPECT_EQ(seq_bit(1, 2, 2), 1);
+  EXPECT_EQ(seq_bit(1, 0, 0), 0);
+}
+
+TEST(BitSeq, Figure2Example) {
+  // The paper's Fig. 2 channel-1 example: rows 101 110 001 -> 369.
+  const SeqId s = seq_from_bits({1, 0, 1, 1, 1, 0, 0, 0, 1});
+  EXPECT_EQ(s, 369);
+  EXPECT_EQ(seq_to_string(369), "101/110/001");
+}
+
+TEST(BitSeq, AllOnesIs511AllZerosIs0) {
+  EXPECT_EQ(seq_from_bits({1, 1, 1, 1, 1, 1, 1, 1, 1}), 511);
+  EXPECT_EQ(seq_from_bits({0, 0, 0, 0, 0, 0, 0, 0, 0}), 0);
+}
+
+TEST(BitSeq, PopcountAndComplement) {
+  EXPECT_EQ(seq_popcount(0), 0);
+  EXPECT_EQ(seq_popcount(511), 9);
+  EXPECT_EQ(seq_complement(0), 511);
+  EXPECT_EQ(seq_complement(369), static_cast<SeqId>(~369 & 511));
+  for (int s = 0; s < kNumSequences; ++s) {
+    const auto seq = static_cast<SeqId>(s);
+    EXPECT_EQ(seq_complement(seq_complement(seq)), seq);
+    EXPECT_EQ(seq_popcount(seq) + seq_popcount(seq_complement(seq)), 9);
+  }
+}
+
+TEST(BitSeq, HammingDistanceProperties) {
+  EXPECT_EQ(hamming_distance(0, 511), 9);
+  EXPECT_EQ(hamming_distance(5, 5), 0);
+  EXPECT_EQ(hamming_distance(0b100000000, 0b100000001), 1);
+  // Symmetry and triangle inequality on a sample.
+  for (SeqId a : {SeqId{0}, SeqId{37}, SeqId{255}}) {
+    for (SeqId b : {SeqId{1}, SeqId{37}, SeqId{400}}) {
+      EXPECT_EQ(hamming_distance(a, b), hamming_distance(b, a));
+      for (SeqId c : {SeqId{128}, SeqId{511}}) {
+        EXPECT_LE(hamming_distance(a, c),
+                  hamming_distance(a, b) + hamming_distance(b, c));
+      }
+    }
+  }
+}
+
+TEST(BitSeq, Neighbors1AreExactlyDistanceOne) {
+  for (SeqId s : {SeqId{0}, SeqId{369}, SeqId{511}}) {
+    const auto neighbors = seq_neighbors1(s);
+    std::set<SeqId> unique(neighbors.begin(), neighbors.end());
+    EXPECT_EQ(unique.size(), 9u);
+    for (SeqId n : neighbors) {
+      EXPECT_EQ(hamming_distance(s, n), 1);
+    }
+  }
+}
+
+TEST(BitSeq, SeqBitMatchesRoundtrip) {
+  for (int s = 0; s < kNumSequences; s += 7) {
+    std::array<int, kSeqBits> bits{};
+    for (int ky = 0; ky < 3; ++ky) {
+      for (int kx = 0; kx < 3; ++kx) {
+        bits[static_cast<std::size_t>(ky * 3 + kx)] =
+            seq_bit(static_cast<SeqId>(s), ky, kx);
+      }
+    }
+    EXPECT_EQ(seq_from_bits(bits), static_cast<SeqId>(s));
+  }
+}
+
+}  // namespace
+}  // namespace bkc::bnn

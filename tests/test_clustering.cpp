@@ -1,0 +1,168 @@
+// Tests for the Hamming-distance-1 clustering pass (Sec III-C).
+
+#include "compress/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "bnn/kernel_sequences.h"
+#include "bnn/weights.h"
+#include "compress/grouped_huffman.h"
+#include "util/check.h"
+
+namespace bkc::compress {
+namespace {
+
+TEST(Clustering, ReplacesRareWithHammingOneCommon) {
+  FrequencyTable t;
+  t.add(0b000000000, 100);  // common
+  t.add(0b000000001, 1);    // rare, distance 1 from common
+  const auto result =
+      cluster_sequences(t, {.most_common = 1, .least_common = 1});
+  EXPECT_EQ(result.remap(0b000000001), 0b000000000);
+  EXPECT_EQ(result.remap(0b000000000), 0b000000000);
+  ASSERT_EQ(result.replacements().size(), 1u);
+  EXPECT_EQ(result.replacements()[0].occurrences, 1u);
+  EXPECT_EQ(result.replacements()[0].distance, 1);
+}
+
+TEST(Clustering, KeepsRareWithoutCloseNeighbor) {
+  FrequencyTable t;
+  t.add(0b000000000, 100);
+  t.add(0b111111111, 1);  // distance 9 from the only common sequence
+  const auto result =
+      cluster_sequences(t, {.most_common = 1, .least_common = 1});
+  EXPECT_EQ(result.remap(0b111111111), 0b111111111);
+  EXPECT_TRUE(result.replacements().empty());
+}
+
+TEST(Clustering, PrefersHighestFrequencyCandidate) {
+  // Both 0 and 3 are distance-1 from 1; 3 is more frequent... make 1
+  // rare and candidates 0 (freq 50) and 5(101b, d=2). Use 0 vs 3:
+  // hamming(1, 0) = 1, hamming(1, 3) = 1.
+  FrequencyTable t;
+  t.add(0, 50);
+  t.add(3, 80);
+  t.add(1, 1);
+  const auto result =
+      cluster_sequences(t, {.most_common = 2, .least_common = 1});
+  EXPECT_EQ(result.remap(1), 3);  // the more frequent of the two
+}
+
+TEST(Clustering, MaxDistanceGeneralization) {
+  FrequencyTable t;
+  t.add(0b000000000, 100);
+  t.add(0b000000011, 2);  // distance 2
+  const ClusteringConfig d1{.most_common = 1, .least_common = 1,
+                            .max_distance = 1};
+  EXPECT_TRUE(cluster_sequences(t, d1).replacements().empty());
+  const ClusteringConfig d2{.most_common = 1, .least_common = 1,
+                            .max_distance = 2};
+  const auto result = cluster_sequences(t, d2);
+  ASSERT_EQ(result.replacements().size(), 1u);
+  EXPECT_EQ(result.replacements()[0].distance, 2);
+  EXPECT_EQ(result.flipped_weight_bits(), 4u);  // 2 occurrences * d2
+}
+
+TEST(Clustering, SetsNeverOverlap) {
+  // 5 occurring sequences, M=4, N=4: su must only take the 1 leftover.
+  FrequencyTable t;
+  for (int s = 0; s < 5; ++s) {
+    t.add(static_cast<SeqId>(s), static_cast<std::uint64_t>(100 - s));
+  }
+  const auto result =
+      cluster_sequences(t, {.most_common = 4, .least_common = 4});
+  // Only sequence 4 (the rarest) may be remapped.
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(result.remap(static_cast<SeqId>(s)), static_cast<SeqId>(s));
+  }
+}
+
+TEST(Clustering, EmptyTableIsIdentity) {
+  FrequencyTable t;
+  const auto result = cluster_sequences(t, {});
+  EXPECT_EQ(result.replaced_occurrences(), 0u);
+  EXPECT_DOUBLE_EQ(result.flipped_bit_fraction(), 0.0);
+}
+
+TEST(Clustering, BadDistanceThrows) {
+  FrequencyTable t;
+  t.add(0, 1);
+  EXPECT_THROW(cluster_sequences(t, {.max_distance = 0}), bkc::CheckError);
+  EXPECT_THROW(cluster_sequences(t, {.max_distance = 10}), bkc::CheckError);
+}
+
+TEST(Clustering, ApplyToTableMovesCounts) {
+  FrequencyTable t;
+  t.add(0, 10);
+  t.add(1, 2);
+  const auto result =
+      cluster_sequences(t, {.most_common = 1, .least_common = 1});
+  const auto after = result.apply(t);
+  EXPECT_EQ(after.count(0), 12u);
+  EXPECT_EQ(after.count(1), 0u);
+  EXPECT_EQ(after.total(), t.total());
+  EXPECT_EQ(after.distinct(), 1u);
+}
+
+TEST(Clustering, ApplyToKernelRewritesChannels) {
+  const std::vector<SeqId> seqs{0, 0, 0, 1};
+  const auto kernel = bnn::kernel_from_sequences(2, 2, seqs);
+  const auto t = FrequencyTable::from_kernel(kernel);
+  const auto result =
+      cluster_sequences(t, {.most_common = 1, .least_common = 1});
+  const auto rewritten = result.apply(kernel);
+  const auto after = bnn::extract_sequences(rewritten);
+  EXPECT_EQ(after, (std::vector<SeqId>{0, 0, 0, 0}));
+}
+
+TEST(Clustering, FlippedBitFractionAccounting) {
+  const std::vector<SeqId> seqs{0, 0, 0, 1};  // 4 sequences, 36 bits
+  const auto kernel = bnn::kernel_from_sequences(2, 2, seqs);
+  const auto t = FrequencyTable::from_kernel(kernel);
+  const auto result =
+      cluster_sequences(t, {.most_common = 1, .least_common = 1});
+  EXPECT_EQ(result.replaced_occurrences(), 1u);
+  EXPECT_EQ(result.flipped_weight_bits(), 1u);
+  EXPECT_DOUBLE_EQ(result.flipped_bit_fraction(), 1.0 / 36.0);
+}
+
+TEST(Clustering, ImprovesCompressionOnCalibratedKernels) {
+  // The headline mechanism of Table V: clustering must improve the
+  // grouped-tree ratio on calibrated kernels.
+  bnn::WeightGenerator gen(7);
+  const auto dist = bnn::SequenceDistribution::fitted({0.632, 0.883});
+  const auto kernel = gen.sample_kernel3x3(256, 256, dist);
+  const auto t = FrequencyTable::from_kernel(kernel);
+  const GroupedHuffmanCodec before(t);
+  const auto clustering = cluster_sequences(t, {});
+  const auto clustered = clustering.apply(t);
+  const GroupedHuffmanCodec after(clustered);
+  EXPECT_GT(after.compression_ratio(clustered),
+            before.compression_ratio(t) + 0.03);
+  // The perturbation is small: ~1-3% of weight bits.
+  EXPECT_LT(clustering.flipped_bit_fraction(), 0.05);
+  EXPECT_GT(clustering.flipped_bit_fraction(), 0.001);
+}
+
+TEST(Clustering, DefaultsReduceAlphabetBelowNodeCapacity) {
+  // With the default M=64 / N=352 and the near-covering popularity head,
+  // nearly every removed sequence finds a substitution, leaving an
+  // alphabet that mostly fits the first three tree nodes.
+  bnn::WeightGenerator gen(9);
+  const auto dist = bnn::SequenceDistribution::fitted({0.632, 0.883});
+  const auto kernel = gen.sample_kernel3x3(512, 512, dist);
+  const auto t = FrequencyTable::from_kernel(kernel);
+  const auto result = cluster_sequences(t, {});
+  const auto after = result.apply(t);
+  EXPECT_LT(after.distinct(), 250u);
+  const GroupedHuffmanCodec codec(after);
+  EXPECT_LT(codec.node_share(3, after), 0.08);
+}
+
+TEST(Clustering, RemapIdOutOfRangeThrows) {
+  ClusteringResult identity;
+  EXPECT_THROW(identity.remap(600), bkc::CheckError);
+}
+
+}  // namespace
+}  // namespace bkc::compress

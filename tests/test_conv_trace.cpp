@@ -1,0 +1,133 @@
+// Tests for the conv-layer trace simulation (baseline / sw / hw).
+
+#include "hwsim/conv_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "bnn/kernel_sequences.h"
+#include "bnn/weights.h"
+#include "compress/kernel_codec.h"
+#include "hwsim/perf_model.h"
+#include "util/check.h"
+
+namespace bkc::hwsim {
+namespace {
+
+bnn::OpRecord conv_op(std::int64_t channels, std::int64_t size,
+                      std::int64_t kernel = 3, std::int64_t stride = 1) {
+  bnn::OpRecord op;
+  op.name = "conv";
+  op.op_class = kernel == 3 ? bnn::OpClass::kConv3x3
+                            : bnn::OpClass::kConv1x1;
+  op.precision_bits = 1;
+  op.kernel_shape = {channels, channels, kernel, kernel};
+  op.input_shape = {channels, size, size};
+  op.geometry = {stride, kernel == 3 ? 1 : 0};
+  op.output_shape = op.geometry.output_shape(op.input_shape,
+                                             op.kernel_shape);
+  op.macs = static_cast<std::uint64_t>(op.output_shape.size() *
+                                       op.kernel_shape.receptive_size());
+  op.storage_bits = static_cast<std::uint64_t>(op.kernel_shape.size());
+  return op;
+}
+
+StreamInfo stream_for(std::int64_t channels, std::uint64_t seed) {
+  bnn::WeightGenerator gen(seed);
+  const auto dist = bnn::SequenceDistribution::fitted({0.645, 0.951});
+  const auto kernel = gen.sample_kernel3x3(channels, channels, dist);
+  const auto result = compress::compress_kernel_pipeline(kernel, true);
+  return stream_info_for(result);
+}
+
+TEST(LayerGeometry, FromOpDerivesGroups) {
+  const auto op = conv_op(192, 8);
+  const auto g = LayerGeometry::from_op(op, 128);
+  EXPECT_EQ(g.groups, 2);
+  EXPECT_EQ(g.out_h, 8);
+  EXPECT_EQ(g.positions(), 9);
+  const auto g1 = LayerGeometry::from_op(conv_op(64, 8, 1), 128);
+  EXPECT_EQ(g1.positions(), 1);
+  EXPECT_EQ(g1.groups, 1);
+}
+
+TEST(ConvTrace, BaselineProducesPositiveScaledCycles) {
+  const auto op = conv_op(64, 8);
+  const auto result =
+      simulate_binary_conv_layer(op, ConvVariant::kBaseline);
+  EXPECT_GT(result.cycles, 0u);
+  EXPECT_EQ(result.decode_cycles, 0u);
+  EXPECT_GT(result.sampled_uops, 0u);
+}
+
+TEST(ConvTrace, DeterministicAcrossRuns) {
+  const auto op = conv_op(64, 8);
+  const auto a = simulate_binary_conv_layer(op, ConvVariant::kBaseline);
+  const auto b = simulate_binary_conv_layer(op, ConvVariant::kBaseline);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.dram_accesses, b.dram_accesses);
+}
+
+TEST(ConvTrace, CompressedVariantsRequireStream) {
+  const auto op = conv_op(64, 8);
+  EXPECT_THROW(simulate_binary_conv_layer(op, ConvVariant::kSwDecode),
+               bkc::CheckError);
+  EXPECT_THROW(simulate_binary_conv_layer(op, ConvVariant::kHwDecode),
+               bkc::CheckError);
+}
+
+TEST(ConvTrace, StreamLengthMismatchThrows) {
+  const auto op = conv_op(64, 8);
+  const auto stream = stream_for(32, 3);  // wrong kernel size
+  EXPECT_THROW(
+      simulate_binary_conv_layer(op, ConvVariant::kHwDecode, &stream),
+      bkc::CheckError);
+}
+
+TEST(ConvTrace, SwDecodeIsSlowerThanBaseline) {
+  const auto op = conv_op(128, 8);
+  const auto stream = stream_for(128, 5);
+  const auto base = simulate_binary_conv_layer(op, ConvVariant::kBaseline);
+  const auto sw =
+      simulate_binary_conv_layer(op, ConvVariant::kSwDecode, &stream);
+  EXPECT_GT(sw.cycles, base.cycles);
+  EXPECT_GT(sw.decode_cycles, 0u);
+}
+
+TEST(ConvTrace, HwDecodeNeverSlowerThanBaselineOnBigLayers) {
+  // A 512-channel 14x14 layer: the kernel exceeds the L2, so the
+  // decoder unit's latency hiding must pay off (the paper's Sec VI
+  // speedup mechanism).
+  const auto op = conv_op(512, 14);
+  const auto stream = stream_for(512, 7);
+  const auto base = simulate_binary_conv_layer(op, ConvVariant::kBaseline);
+  const auto hw =
+      simulate_binary_conv_layer(op, ConvVariant::kHwDecode, &stream);
+  EXPECT_LT(hw.cycles, base.cycles);
+  // And the weight-load stalls are gone.
+  EXPECT_LT(hw.ldps_stall_cycles, base.load_stall_cycles / 4);
+}
+
+TEST(ConvTrace, HwReducesDramTraffic) {
+  const auto op = conv_op(512, 14);
+  const auto stream = stream_for(512, 9);
+  const auto base = simulate_binary_conv_layer(op, ConvVariant::kBaseline);
+  const auto hw =
+      simulate_binary_conv_layer(op, ConvVariant::kHwDecode, &stream);
+  EXPECT_LT(hw.dram_accesses, base.dram_accesses);
+}
+
+TEST(ConvTrace, SmallLayerFullySimulatedWithoutScaling) {
+  const auto op = conv_op(16, 3);  // 3 output rows = fewer than sample
+  const auto result =
+      simulate_binary_conv_layer(op, ConvVariant::kBaseline);
+  EXPECT_GT(result.cycles, 0u);
+}
+
+TEST(ConvTrace, VariantNames) {
+  EXPECT_EQ(variant_name(ConvVariant::kBaseline), "baseline");
+  EXPECT_EQ(variant_name(ConvVariant::kSwDecode), "sw-decode");
+  EXPECT_EQ(variant_name(ConvVariant::kHwDecode), "hw-decode");
+}
+
+}  // namespace
+}  // namespace bkc::hwsim

@@ -1,0 +1,116 @@
+// Tests for the in-order dual-issue core timing model.
+
+#include "hwsim/core.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace bkc::hwsim {
+namespace {
+
+TEST(Core, DualIssueFloor) {
+  CpuParams params;
+  InOrderCore core(params);
+  std::vector<MicroOp> trace(1000, MicroOp{.kind = UopKind::kScalar});
+  const CoreStats stats = core.run(trace);
+  // 1000 independent scalars on a 2-wide core: ~500 cycles.
+  EXPECT_NEAR(static_cast<double>(stats.cycles), 500.0, 5.0);
+  EXPECT_EQ(stats.uops, 1000u);
+}
+
+TEST(Core, DependencyChainSerializes) {
+  CpuParams params;
+  InOrderCore core(params);
+  std::vector<MicroOp> trace;
+  trace.push_back({.kind = UopKind::kScalar});
+  for (int i = 0; i < 999; ++i) {
+    trace.push_back({.kind = UopKind::kScalar, .dep = 1});
+  }
+  const CoreStats stats = core.run(trace);
+  // A chain of 1-cycle ops runs at 1 per cycle regardless of width.
+  EXPECT_GE(stats.cycles, 999u);
+}
+
+TEST(Core, LoadLatencyExposedToConsumer) {
+  CpuParams params;
+  InOrderCore core(params);
+  // Warm the line first so the timed run sees an L1 hit.
+  std::vector<MicroOp> warm{{.kind = UopKind::kLoad, .addr = 0, .bytes = 8}};
+  core.run(warm);
+  InOrderCore timed(params);
+  timed.run(warm);
+  std::vector<MicroOp> trace{
+      {.kind = UopKind::kLoad, .addr = 0, .bytes = 8},
+      {.kind = UopKind::kVector, .dep = 1},
+  };
+  const CoreStats stats = timed.run(trace);
+  EXPECT_GE(stats.cycles, static_cast<std::uint64_t>(params.l1_latency));
+  EXPECT_GT(stats.load_stall_cycles, 0u);
+}
+
+TEST(Core, IndependentWorkHidesLoadLatency) {
+  CpuParams params;
+  InOrderCore core(params);
+  // A load followed by 400 independent scalars, consumer at the end:
+  // the miss latency is fully hidden behind the scalars.
+  std::vector<MicroOp> trace{{.kind = UopKind::kLoad, .addr = 0, .bytes = 8}};
+  for (int i = 0; i < 600; ++i) {
+    trace.push_back({.kind = UopKind::kScalar});
+  }
+  trace.push_back({.kind = UopKind::kVector, .dep = 1});  // dep on scalar
+  const CoreStats stats = core.run(trace);
+  EXPECT_LT(stats.cycles, 320u);
+}
+
+TEST(Core, StoresDoNotStall) {
+  CpuParams params;
+  InOrderCore core(params);
+  std::vector<MicroOp> trace(200, MicroOp{.kind = UopKind::kStore,
+                                          .addr = 0x400,
+                                          .bytes = 4});
+  const CoreStats stats = core.run(trace);
+  EXPECT_NEAR(static_cast<double>(stats.cycles), 100.0, 10.0);
+}
+
+TEST(Core, MissCountersPropagate) {
+  CpuParams params;
+  InOrderCore core(params);
+  std::vector<MicroOp> trace{
+      {.kind = UopKind::kLoad, .addr = 0x0, .bytes = 8},
+      {.kind = UopKind::kLoad, .addr = 0x10000, .bytes = 8},
+      {.kind = UopKind::kLoad, .addr = 0x0, .bytes = 8},
+  };
+  const CoreStats stats = core.run(trace);
+  EXPECT_EQ(stats.l1_misses, 2u);
+  EXPECT_EQ(stats.dram_accesses, 2u);
+}
+
+TEST(Core, CyclePersistsAcrossRuns) {
+  CpuParams params;
+  InOrderCore core(params);
+  std::vector<MicroOp> trace(100, MicroOp{.kind = UopKind::kScalar});
+  core.run(trace);
+  const auto after_first = core.cycle();
+  core.run(trace);
+  EXPECT_GT(core.cycle(), after_first);
+  core.reset();
+  EXPECT_EQ(core.cycle(), 0u);
+}
+
+TEST(Core, LoadPackedWithoutDecoderThrows) {
+  CpuParams params;
+  InOrderCore core(params);
+  std::vector<MicroOp> trace{{.kind = UopKind::kLoadPacked}};
+  EXPECT_THROW(core.run(trace), bkc::CheckError);
+}
+
+TEST(Core, DependencyOutsideWindowThrows) {
+  CpuParams params;
+  InOrderCore core(params);
+  std::vector<MicroOp> trace{{.kind = UopKind::kScalar, .dep = 5}};
+  EXPECT_THROW(core.run(trace), bkc::CheckError);
+}
+
+}  // namespace
+}  // namespace bkc::hwsim

@@ -1,0 +1,96 @@
+// End-to-end tests of the public Engine facade.
+
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace bkc {
+namespace {
+
+EngineOptions no_clustering() {
+  EngineOptions options;
+  options.clustering = false;
+  return options;
+}
+
+TEST(Engine, CompressReportsAndVerifies) {
+  Engine engine(bnn::tiny_reactnet_config(3));
+  EXPECT_FALSE(engine.is_compressed());
+  const auto& report = engine.compress();
+  EXPECT_TRUE(engine.is_compressed());
+  EXPECT_EQ(report.blocks.size(), 13u);
+  EXPECT_TRUE(engine.verify_streams());
+  EXPECT_EQ(engine.block_streams().size(), 13u);
+}
+
+TEST(Engine, CompressIsIdempotent) {
+  Engine engine(bnn::tiny_reactnet_config(5));
+  engine.compress();
+  const auto kernel = engine.model().block(0).conv3x3().kernel();
+  engine.compress();  // second call must not re-cluster
+  EXPECT_TRUE(engine.model().block(0).conv3x3().kernel() == kernel);
+}
+
+TEST(Engine, AccessorsGuardUncompressedState) {
+  Engine engine(bnn::tiny_reactnet_config(7));
+  EXPECT_THROW(engine.report(), CheckError);
+  EXPECT_THROW(engine.block_streams(), CheckError);
+  EXPECT_THROW(engine.verify_streams(), CheckError);
+  EXPECT_THROW(engine.simulate_speedup(), CheckError);
+}
+
+TEST(Engine, EncodingOnlyPreservesInferenceBitExactly) {
+  // Without clustering the compression is lossless, so classify() must
+  // produce IDENTICAL outputs before and after compress().
+  Engine engine(bnn::tiny_reactnet_config(9), no_clustering());
+  bnn::WeightGenerator gen(10);
+  const Tensor image =
+      gen.sample_activation(engine.model().input_shape());
+  const Tensor before = engine.classify(image);
+  engine.compress();
+  EXPECT_TRUE(engine.verify_streams());
+  const Tensor after = engine.classify(image);
+  for (std::size_t i = 0; i < after.data().size(); ++i) {
+    EXPECT_FLOAT_EQ(after.data()[i], before.data()[i]);
+  }
+}
+
+TEST(Engine, ClusteringChangesOutputsOnlySlightly) {
+  Engine engine(bnn::tiny_reactnet_config(11));
+  bnn::WeightGenerator gen(12);
+  const Tensor image =
+      gen.sample_activation(engine.model().input_shape());
+  const Tensor before = engine.classify(image);
+  engine.compress();
+  const Tensor after = engine.classify(image);
+  double l1 = 0.0;
+  double magnitude = 0.0;
+  for (std::size_t i = 0; i < after.data().size(); ++i) {
+    l1 += std::abs(after.data()[i] - before.data()[i]);
+    magnitude += std::abs(before.data()[i]);
+  }
+  EXPECT_LT(l1, magnitude);  // perturbation, not a different network
+}
+
+TEST(Engine, ClusteringImprovesModelRatio) {
+  Engine plain(bnn::tiny_reactnet_config(13), no_clustering());
+  Engine clustered(bnn::tiny_reactnet_config(13));
+  const auto& plain_report = plain.compress();
+  const auto& clustered_report = clustered.compress();
+  EXPECT_GT(clustered_report.mean_clustering_ratio,
+            plain_report.mean_encoding_ratio);
+}
+
+TEST(Engine, SimulateSpeedupRuns) {
+  Engine engine(bnn::tiny_reactnet_config(15));
+  engine.compress();
+  const auto report = engine.simulate_speedup();
+  EXPECT_EQ(report.conv3x3.size(), 13u);
+  EXPECT_GT(report.total_baseline, 0u);
+  EXPECT_GT(report.model_sw_slowdown(), 1.0);
+}
+
+}  // namespace
+}  // namespace bkc

@@ -1,0 +1,106 @@
+// Tests for the frequency table (Sec III-A).
+
+#include "compress/frequency.h"
+
+#include <gtest/gtest.h>
+
+#include "bnn/kernel_sequences.h"
+#include "bnn/weights.h"
+#include "util/check.h"
+
+namespace bkc::compress {
+namespace {
+
+TEST(FrequencyTable, CountsAndTotal) {
+  FrequencyTable t;
+  t.add(5);
+  t.add(5, 3);
+  t.add(0);
+  EXPECT_EQ(t.count(5), 4u);
+  EXPECT_EQ(t.count(0), 1u);
+  EXPECT_EQ(t.count(1), 0u);
+  EXPECT_EQ(t.total(), 5u);
+  EXPECT_EQ(t.distinct(), 2u);
+}
+
+TEST(FrequencyTable, FromSequences) {
+  const std::vector<SeqId> seqs{1, 1, 2, 511};
+  const auto t = FrequencyTable::from_sequences(seqs);
+  EXPECT_EQ(t.count(1), 2u);
+  EXPECT_EQ(t.count(511), 1u);
+  EXPECT_EQ(t.total(), 4u);
+}
+
+TEST(FrequencyTable, FromKernelCountsEveryChannel) {
+  const std::vector<SeqId> seqs{7, 7, 7, 9};
+  const auto kernel = bnn::kernel_from_sequences(2, 2, seqs);
+  const auto t = FrequencyTable::from_kernel(kernel);
+  EXPECT_EQ(t.count(7), 3u);
+  EXPECT_EQ(t.count(9), 1u);
+}
+
+TEST(FrequencyTable, RankedDescendingDeterministic) {
+  FrequencyTable t;
+  t.add(3, 10);
+  t.add(100, 10);
+  t.add(5, 20);
+  const auto ranked = t.ranked();
+  EXPECT_EQ(ranked[0], 5);
+  EXPECT_EQ(ranked[1], 3);    // ties broken by id
+  EXPECT_EQ(ranked[2], 100);
+}
+
+TEST(FrequencyTable, SharesAndTopK) {
+  FrequencyTable t;
+  t.add(0, 60);
+  t.add(1, 30);
+  t.add(2, 10);
+  EXPECT_DOUBLE_EQ(t.share(0), 0.6);
+  EXPECT_DOUBLE_EQ(t.top_k_share(1), 0.6);
+  EXPECT_DOUBLE_EQ(t.top_k_share(2), 0.9);
+  EXPECT_DOUBLE_EQ(t.top_k_share(512), 1.0);
+}
+
+TEST(FrequencyTable, EmptyGuards) {
+  FrequencyTable t;
+  EXPECT_THROW(t.share(0), CheckError);
+  EXPECT_THROW(t.top_k_share(4), CheckError);
+  EXPECT_THROW(t.entropy_bits(), CheckError);
+  EXPECT_THROW(t.add(512), CheckError);
+}
+
+TEST(FrequencyTable, MergeAdds) {
+  FrequencyTable a;
+  a.add(1, 2);
+  FrequencyTable b;
+  b.add(1, 3);
+  b.add(2, 1);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 5u);
+  EXPECT_EQ(a.count(2), 1u);
+  EXPECT_EQ(a.total(), 6u);
+}
+
+TEST(FrequencyTable, EntropyBounds) {
+  FrequencyTable t;
+  for (int s = 0; s < 512; ++s) t.add(static_cast<SeqId>(s));
+  EXPECT_NEAR(t.entropy_bits(), 9.0, 1e-12);
+  FrequencyTable point;
+  point.add(42, 100);
+  EXPECT_DOUBLE_EQ(point.entropy_bits(), 0.0);
+}
+
+TEST(FrequencyTable, ObservedLowUniqueCount) {
+  // Sec I: "the number of unique sequences representing a set of
+  // weights or inputs is typically low". Small kernels can't even reach
+  // 512 distinct sequences.
+  bnn::WeightGenerator gen(3);
+  const auto dist = bnn::SequenceDistribution::fitted({0.645, 0.951});
+  const auto kernel = gen.sample_kernel3x3(16, 16, dist);
+  const auto t = FrequencyTable::from_kernel(kernel);
+  EXPECT_LE(t.distinct(), 256u);
+  EXPECT_EQ(t.total(), 256u);
+}
+
+}  // namespace
+}  // namespace bkc::compress

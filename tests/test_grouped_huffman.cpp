@@ -1,0 +1,183 @@
+// Tests for the paper's simplified 4-node Huffman tree (Sec III-B).
+
+#include "compress/grouped_huffman.h"
+
+#include <gtest/gtest.h>
+
+#include "bnn/weights.h"
+#include "compress/huffman.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace bkc::compress {
+namespace {
+
+TEST(GroupedTreeConfig, PaperCodeLengthsAre6_8_9_12) {
+  const auto cfg = GroupedTreeConfig::paper();
+  ASSERT_EQ(cfg.num_nodes(), 4);
+  EXPECT_EQ(cfg.code_length(0), 6);
+  EXPECT_EQ(cfg.code_length(1), 8);
+  EXPECT_EQ(cfg.code_length(2), 9);
+  EXPECT_EQ(cfg.code_length(3), 12);
+  EXPECT_EQ(cfg.capacity(0), 32u);
+  EXPECT_EQ(cfg.capacity(1), 64u);
+  EXPECT_EQ(cfg.capacity(2), 64u);
+  EXPECT_EQ(cfg.capacity(3), 512u);
+  EXPECT_GE(cfg.total_capacity(), 512u);  // every sequence encodable
+}
+
+TEST(GroupedTreeConfig, Fixed9IsUncompressed) {
+  const auto cfg = GroupedTreeConfig::fixed9();
+  ASSERT_EQ(cfg.num_nodes(), 1);
+  EXPECT_EQ(cfg.prefix_length(0), 0);
+  EXPECT_EQ(cfg.code_length(0), 9);
+  EXPECT_EQ(cfg.capacity(0), 512u);
+}
+
+TEST(GroupedTreeConfig, ValidationGuards) {
+  GroupedTreeConfig empty{.index_bits = {}};
+  EXPECT_THROW(empty.validate(), bkc::CheckError);
+  GroupedTreeConfig wide{.index_bits = {20}};
+  EXPECT_THROW(wide.validate(), bkc::CheckError);
+}
+
+FrequencyTable skewed_table() {
+  // Ranked by construction: sequence s has count 2000 - 3s.
+  FrequencyTable t;
+  for (int s = 0; s < 512; ++s) {
+    t.add(static_cast<SeqId>(s), static_cast<std::uint64_t>(2000 - 3 * s));
+  }
+  return t;
+}
+
+TEST(GroupedHuffman, FillsNodesInRankOrder) {
+  const auto t = skewed_table();
+  const GroupedHuffmanCodec codec(t);
+  // Sequence 0 is the most frequent -> node 0, index 0; sequence 32 is
+  // rank 32 -> node 1.
+  EXPECT_EQ(codec.node_of(0), 0);
+  EXPECT_EQ(codec.index_of(0), 0u);
+  EXPECT_EQ(codec.node_of(31), 0);
+  EXPECT_EQ(codec.node_of(32), 1);
+  EXPECT_EQ(codec.node_of(96), 2);
+  EXPECT_EQ(codec.node_of(160), 3);
+  EXPECT_EQ(codec.code_length(0), 6u);
+  EXPECT_EQ(codec.code_length(200), 12u);
+  EXPECT_EQ(codec.node_occupancy(0), 32u);
+  EXPECT_EQ(codec.node_occupancy(3), 512u - 160u);
+}
+
+TEST(GroupedHuffman, PrefixCodeIsSelfDelimiting) {
+  const auto t = skewed_table();
+  const GroupedHuffmanCodec codec(t);
+  Rng rng(7);
+  std::vector<SeqId> message;
+  for (int i = 0; i < 5000; ++i) {
+    message.push_back(static_cast<SeqId>(rng.below(512)));
+  }
+  std::size_t bits = 0;
+  const auto stream = codec.encode(message, bits);
+  EXPECT_EQ(codec.decode(stream, bits, message.size()), message);
+}
+
+TEST(GroupedHuffman, EncodedBitsMatchesPerSymbolLengths) {
+  const auto t = skewed_table();
+  const GroupedHuffmanCodec codec(t);
+  std::uint64_t expected = 0;
+  for (int s = 0; s < 512; ++s) {
+    expected += t.count(static_cast<SeqId>(s)) *
+                codec.code_length(static_cast<SeqId>(s));
+  }
+  EXPECT_EQ(codec.encoded_bits(t), expected);
+}
+
+TEST(GroupedHuffman, NodeSharesSumToOne) {
+  const auto t = skewed_table();
+  const GroupedHuffmanCodec codec(t);
+  double total = 0.0;
+  for (int n = 0; n < 4; ++n) total += codec.node_share(n, t);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Rank-ordered fill: node 0 has the highest per-sequence intensity.
+  EXPECT_GT(codec.node_share(0, t) / 32.0,
+            codec.node_share(3, t) /
+                static_cast<double>(codec.node_occupancy(3)));
+}
+
+TEST(GroupedHuffman, CompressionBeatsFixed9OnSkewedData) {
+  bnn::WeightGenerator gen(3);
+  const auto dist = bnn::SequenceDistribution::fitted({0.645, 0.951});
+  const auto kernel = gen.sample_kernel3x3(128, 128, dist);
+  const auto t = FrequencyTable::from_kernel(kernel);
+  const GroupedHuffmanCodec paper(t, GroupedTreeConfig::paper());
+  const GroupedHuffmanCodec fixed(t, GroupedTreeConfig::fixed9());
+  EXPECT_GT(paper.compression_ratio(t), 1.1);
+  EXPECT_DOUBLE_EQ(fixed.compression_ratio(t), 1.0);
+}
+
+TEST(GroupedHuffman, WorseThanFullHuffmanButClose) {
+  // The simplified tree trades compression for hardware simplicity
+  // (Sec III-B): it must be within ~15% of the optimal prefix code.
+  bnn::WeightGenerator gen(5);
+  const auto dist = bnn::SequenceDistribution::fitted({0.62, 0.9});
+  const auto kernel = gen.sample_kernel3x3(128, 128, dist);
+  const auto t = FrequencyTable::from_kernel(kernel);
+  const GroupedHuffmanCodec grouped(t);
+  const auto full = HuffmanCodec::build(t);
+  EXPECT_LE(grouped.compression_ratio(t), full.compression_ratio(t) + 1e-9);
+  EXPECT_GT(grouped.compression_ratio(t),
+            full.compression_ratio(t) * 0.85);
+}
+
+TEST(GroupedHuffman, UniformDataBarelyCompresses) {
+  FrequencyTable t;
+  for (int s = 0; s < 512; ++s) t.add(static_cast<SeqId>(s), 10);
+  const GroupedHuffmanCodec codec(t);
+  // Avg bits = (32*6 + 64*8 + 64*9 + 352*12) / 512 = 10.53: uniform
+  // data *expands* under the paper's tree, as expected.
+  EXPECT_LT(codec.compression_ratio(t), 1.0);
+}
+
+TEST(GroupedHuffman, CapacityTooSmallForAlphabetThrows) {
+  FrequencyTable t;
+  for (int s = 0; s < 512; ++s) t.add(static_cast<SeqId>(s), 10);
+  GroupedTreeConfig small{.index_bits = {5, 6}};  // capacity 96 < 512
+  EXPECT_THROW(GroupedHuffmanCodec(t, small), bkc::CheckError);
+}
+
+TEST(GroupedHuffman, SmallAlphabetFitsSmallTree) {
+  FrequencyTable t;
+  for (int s = 0; s < 90; ++s) t.add(static_cast<SeqId>(s), 5);
+  GroupedTreeConfig small{.index_bits = {5, 6}};
+  const GroupedHuffmanCodec codec(t, small);
+  std::vector<SeqId> msg{0, 40, 89};
+  std::size_t bits = 0;
+  const auto stream = codec.encode(msg, bits);
+  EXPECT_EQ(codec.decode(stream, bits, msg.size()), msg);
+  // Sequences that never occurred and did not fit got no code.
+  EXPECT_FALSE(codec.has_code(500));
+}
+
+TEST(GroupedHuffman, TableBitsAccounting) {
+  const auto t = skewed_table();
+  const GroupedHuffmanCodec codec(t);
+  // 512 occupied entries * 9 bits + 4 length-table entries * 4 bits.
+  EXPECT_EQ(codec.table_bits(), 512u * 9u + 4u * 4u);
+}
+
+TEST(GroupedHuffman, DecodeCorruptIndexThrows) {
+  FrequencyTable t;
+  t.add(3, 10);
+  const GroupedHuffmanCodec codec(t);
+  // Zero-count sequences backfill the tree, so nodes 0-2 are full and
+  // node 3 holds 512 - 160 = 352 entries; index 400 is unoccupied.
+  EXPECT_EQ(codec.node_occupancy(3), 352u);
+  bkc::BitWriter writer;
+  writer.write_bits(0b111, 3);  // prefix '111' -> node 3
+  writer.write_bits(400, 9);    // beyond occupancy
+  const auto bytes = writer.bytes();
+  bkc::BitReader reader(bytes, 12);
+  EXPECT_THROW(codec.decode_one(reader), bkc::CheckError);
+}
+
+}  // namespace
+}  // namespace bkc::compress

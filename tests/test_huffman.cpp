@@ -1,0 +1,120 @@
+// Tests for the full canonical Huffman codec (the optimality bound the
+// simplified tree is compared against).
+
+#include "compress/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bnn/weights.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace bkc::compress {
+namespace {
+
+FrequencyTable table_from_counts(
+    std::initializer_list<std::pair<SeqId, std::uint64_t>> counts) {
+  FrequencyTable t;
+  for (const auto& [s, c] : counts) t.add(s, c);
+  return t;
+}
+
+TEST(Huffman, TwoSymbolAlphabet) {
+  const auto t = table_from_counts({{0, 3}, {511, 1}});
+  const auto codec = HuffmanCodec::build(t);
+  EXPECT_EQ(codec.code_length(0), 1u);
+  EXPECT_EQ(codec.code_length(511), 1u);
+  EXPECT_FALSE(codec.has_code(5));
+  EXPECT_THROW(codec.code_length(5), CheckError);
+}
+
+TEST(Huffman, SingleSymbolGetsOneBit) {
+  const auto t = table_from_counts({{7, 100}});
+  const auto codec = HuffmanCodec::build(t);
+  EXPECT_EQ(codec.code_length(7), 1u);
+  std::size_t bits = 0;
+  const std::vector<SeqId> message(10, 7);
+  const auto stream = codec.encode(message, bits);
+  EXPECT_EQ(bits, 10u);
+  EXPECT_EQ(codec.decode(stream, bits, 10), message);
+}
+
+TEST(Huffman, SkewedFrequenciesGetShorterCodes) {
+  const auto t = table_from_counts({{1, 100}, {2, 10}, {3, 10}, {4, 1}});
+  const auto codec = HuffmanCodec::build(t);
+  EXPECT_LE(codec.code_length(1), codec.code_length(2));
+  EXPECT_LE(codec.code_length(2), codec.code_length(4));
+}
+
+TEST(Huffman, KraftEqualityHolds) {
+  // An optimal prefix code over n>=2 symbols satisfies Kraft with
+  // equality: sum 2^-len == 1.
+  Rng rng(5);
+  FrequencyTable t;
+  for (int s = 0; s < 300; ++s) {
+    t.add(static_cast<SeqId>(s), 1 + rng.below(1000));
+  }
+  const auto codec = HuffmanCodec::build(t);
+  double kraft = 0.0;
+  for (int s = 0; s < 300; ++s) {
+    kraft += std::pow(2.0, -static_cast<double>(
+                               codec.code_length(static_cast<SeqId>(s))));
+  }
+  EXPECT_NEAR(kraft, 1.0, 1e-9);
+}
+
+TEST(Huffman, WithinOneBitOfEntropy) {
+  bnn::WeightGenerator gen(17);
+  const auto dist = bnn::SequenceDistribution::fitted({0.645, 0.951});
+  const auto kernel = gen.sample_kernel3x3(128, 128, dist);
+  const auto t = FrequencyTable::from_kernel(kernel);
+  const auto codec = HuffmanCodec::build(t);
+  const double avg_bits =
+      static_cast<double>(codec.encoded_bits(t)) /
+      static_cast<double>(t.total());
+  EXPECT_GE(avg_bits, t.entropy_bits() - 1e-9);
+  EXPECT_LE(avg_bits, t.entropy_bits() + 1.0);
+}
+
+TEST(Huffman, RoundtripRandomMessages) {
+  Rng rng(23);
+  FrequencyTable t;
+  for (int s = 0; s < 512; s += 3) {
+    t.add(static_cast<SeqId>(s), 1 + rng.below(500));
+  }
+  const auto codec = HuffmanCodec::build(t);
+  std::vector<SeqId> message;
+  for (int i = 0; i < 4000; ++i) {
+    message.push_back(static_cast<SeqId>(3 * rng.below(171)));
+  }
+  std::size_t bits = 0;
+  const auto stream = codec.encode(message, bits);
+  EXPECT_EQ(codec.decode(stream, bits, message.size()), message);
+}
+
+TEST(Huffman, CompressionRatioDefinition) {
+  const auto t = table_from_counts({{0, 1}, {1, 1}});
+  const auto codec = HuffmanCodec::build(t);
+  // 2 sequences * 9 bits plain, 2 * 1 bit coded.
+  EXPECT_DOUBLE_EQ(codec.compression_ratio(t), 9.0);
+}
+
+TEST(Huffman, EmptyTableThrows) {
+  FrequencyTable t;
+  EXPECT_THROW(HuffmanCodec::build(t), CheckError);
+}
+
+TEST(Huffman, DeterministicBuild) {
+  const auto t = table_from_counts({{9, 4}, {10, 4}, {11, 4}, {12, 4}});
+  const auto a = HuffmanCodec::build(t);
+  const auto b = HuffmanCodec::build(t);
+  std::vector<SeqId> msg{9, 10, 11, 12, 9};
+  std::size_t bits_a = 0;
+  std::size_t bits_b = 0;
+  EXPECT_EQ(a.encode(msg, bits_a), b.encode(msg, bits_b));
+}
+
+}  // namespace
+}  // namespace bkc::compress

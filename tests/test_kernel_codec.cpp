@@ -1,0 +1,100 @@
+// Tests for whole-kernel compression (the stream format of Sec IV-B).
+
+#include "compress/kernel_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "bnn/kernel_sequences.h"
+#include "bnn/weights.h"
+#include "util/check.h"
+
+namespace bkc::compress {
+namespace {
+
+bnn::PackedKernel calibrated_kernel(std::int64_t out, std::int64_t in,
+                                    std::uint64_t seed) {
+  bnn::WeightGenerator gen(seed);
+  const auto dist = bnn::SequenceDistribution::fitted({0.645, 0.951});
+  return gen.sample_kernel3x3(out, in, dist);
+}
+
+TEST(KernelCodec, LosslessRoundtrip) {
+  const auto kernel = calibrated_kernel(32, 64, 3);
+  const auto table = FrequencyTable::from_kernel(kernel);
+  const GroupedHuffmanCodec codec(table);
+  const CompressedKernel compressed = compress_kernel(kernel, codec);
+  const bnn::PackedKernel decoded = decompress_kernel(compressed, codec);
+  EXPECT_TRUE(decoded == kernel);
+}
+
+TEST(KernelCodec, StreamIsSmallerThanPlain) {
+  const auto kernel = calibrated_kernel(64, 64, 5);
+  const auto table = FrequencyTable::from_kernel(kernel);
+  const GroupedHuffmanCodec codec(table);
+  const CompressedKernel compressed = compress_kernel(kernel, codec);
+  EXPECT_LT(compressed.stream_bits, compressed.uncompressed_bits());
+  EXPECT_GT(compressed.ratio(), 1.05);
+  EXPECT_EQ(compressed.num_sequences(), 64u * 64u);
+  // Byte buffer holds exactly the stream bits.
+  EXPECT_EQ(compressed.stream.size(), (compressed.stream_bits + 7) / 8);
+}
+
+TEST(KernelCodec, StreamBitsMatchCodecAccounting) {
+  const auto kernel = calibrated_kernel(16, 32, 7);
+  const auto table = FrequencyTable::from_kernel(kernel);
+  const GroupedHuffmanCodec codec(table);
+  const CompressedKernel compressed = compress_kernel(kernel, codec);
+  EXPECT_EQ(compressed.stream_bits, codec.encoded_bits(table));
+}
+
+TEST(KernelCodec, PipelineWithoutClusteringIsExact) {
+  const auto kernel = calibrated_kernel(24, 48, 9);
+  const auto result = compress_kernel_pipeline(kernel, false);
+  EXPECT_TRUE(result.coded_kernel == kernel);
+  EXPECT_EQ(result.clustering.replaced_occurrences(), 0u);
+  const auto decoded =
+      decompress_kernel(result.compressed, result.codec);
+  EXPECT_TRUE(decoded == kernel);
+}
+
+TEST(KernelCodec, PipelineWithClusteringDecodesToClusteredKernel) {
+  const auto kernel = calibrated_kernel(64, 128, 11);
+  const auto result = compress_kernel_pipeline(kernel, true);
+  // The stream encodes the clustered kernel bit-exactly...
+  const auto decoded =
+      decompress_kernel(result.compressed, result.codec);
+  EXPECT_TRUE(decoded == result.coded_kernel);
+  // ...which differs from the original by the replaced channels only.
+  const auto before = bnn::extract_sequences(kernel);
+  const auto after = bnn::extract_sequences(result.coded_kernel);
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) {
+      ++changed;
+      EXPECT_EQ(result.clustering.remap(before[i]), after[i]);
+    }
+  }
+  EXPECT_EQ(changed > 0, result.clustering.replaced_occurrences() > 0);
+}
+
+TEST(KernelCodec, ClusteringImprovesRatio) {
+  const auto kernel = calibrated_kernel(128, 256, 13);
+  const auto plain = compress_kernel_pipeline(kernel, false);
+  const auto clustered = compress_kernel_pipeline(kernel, true);
+  EXPECT_GT(clustered.compressed.ratio(), plain.compressed.ratio());
+}
+
+TEST(KernelCodec, EmptyStreamRatioThrows) {
+  CompressedKernel empty;
+  EXPECT_THROW(empty.ratio(), bkc::CheckError);
+}
+
+TEST(KernelCodec, TinyKernelRoundtrip) {
+  const std::vector<SeqId> seqs{0, 511, 369, 7};
+  const auto kernel = bnn::kernel_from_sequences(2, 2, seqs);
+  const auto result = compress_kernel_pipeline(kernel, false);
+  EXPECT_TRUE(decompress_kernel(result.compressed, result.codec) == kernel);
+}
+
+}  // namespace
+}  // namespace bkc::compress

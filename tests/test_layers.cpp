@@ -1,0 +1,168 @@
+// Tests for the non-conv layers of the ReActNet block.
+
+#include "bnn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "bnn/weights.h"
+#include "util/check.h"
+
+namespace bkc::bnn {
+namespace {
+
+TEST(Sign, BinarizesEverything) {
+  SignActivation sign;
+  Tensor t(FeatureShape{1, 1, 4}, {-2.0f, -0.0f, 0.0f, 3.0f});
+  const Tensor out = sign.forward(t);
+  EXPECT_FLOAT_EQ(out.data()[0], -1.0f);
+  // IEEE -0.0f >= 0 holds, so -0.0 binarizes to +1 like the paper's
+  // x >= 0 rule.
+  EXPECT_FLOAT_EQ(out.data()[1], 1.0f);
+  EXPECT_FLOAT_EQ(out.data()[2], 1.0f);
+  EXPECT_FLOAT_EQ(out.data()[3], 1.0f);
+}
+
+TEST(BatchNorm, AffinePerChannel) {
+  BatchNorm bn("bn", {2.0f, -1.0f}, {0.5f, 1.0f});
+  Tensor t(FeatureShape{2, 1, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  const Tensor out = bn.forward(t);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1), 4.5f);
+  EXPECT_FLOAT_EQ(out.at(1, 0, 0), -2.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0, 1), -3.0f);
+}
+
+TEST(BatchNorm, ChannelMismatchThrows) {
+  BatchNorm bn("bn", {1.0f}, {0.0f});
+  Tensor t(FeatureShape{2, 1, 1});
+  EXPECT_THROW(bn.forward(t), CheckError);
+}
+
+TEST(RPReLU, ShiftSlopeShift) {
+  // y = PReLU(x - shift_in) + shift_out with slope on the negative side.
+  RPReLU act("act", /*shift_in=*/{1.0f}, /*slope=*/{0.5f},
+             /*shift_out=*/{10.0f});
+  Tensor t(FeatureShape{1, 1, 3}, {3.0f, 1.0f, -1.0f});
+  const Tensor out = act.forward(t);
+  EXPECT_FLOAT_EQ(out.data()[0], 2.0f + 10.0f);   // positive branch
+  EXPECT_FLOAT_EQ(out.data()[1], 0.0f + 10.0f);   // at the knee
+  EXPECT_FLOAT_EQ(out.data()[2], -1.0f + 10.0f);  // 0.5 * (-2) + 10
+}
+
+TEST(AvgPool2x2, Averages) {
+  AvgPool2x2 pool;
+  Tensor t(FeatureShape{1, 2, 2}, {1.0f, 2.0f, 3.0f, 6.0f});
+  const Tensor out = pool.forward(t);
+  EXPECT_EQ(out.shape(), (FeatureShape{1, 1, 1}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 3.0f);
+}
+
+TEST(AvgPool2x2, OddSizeThrows) {
+  AvgPool2x2 pool;
+  Tensor t(FeatureShape{1, 3, 2});
+  EXPECT_THROW(pool.forward(t), CheckError);
+}
+
+TEST(GlobalAvgPool, ReducesToOnePixel) {
+  GlobalAvgPool pool;
+  Tensor t(FeatureShape{2, 2, 2}, {1, 1, 1, 1, 2, 2, 2, 10});
+  const Tensor out = pool.forward(t);
+  EXPECT_EQ(out.shape(), (FeatureShape{2, 1, 1}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0, 0), 4.0f);
+}
+
+TEST(Int8Conv, ApproximatesFloatConv) {
+  WeightGenerator gen(3);
+  const KernelShape ks{4, 3, 3, 3};
+  const WeightTensor w = gen.sample_float_weights(ks, 0.5f);
+  Int8Conv2d conv("stem", w, std::vector<float>(4, 0.0f),
+                  {.stride = 2, .padding = 1});
+  const Tensor input = gen.sample_activation({3, 8, 8});
+  const Tensor q_out = conv.forward(input);
+  const Tensor f_out =
+      reference_conv2d(input, w, {.stride = 2, .padding = 1}, 0.0f);
+  ASSERT_EQ(q_out.shape(), f_out.shape());
+  // int8 quantization error stays small relative to the output scale.
+  float max_abs = 0.0f;
+  for (float v : f_out.data()) max_abs = std::max(max_abs, std::abs(v));
+  for (std::size_t i = 0; i < q_out.data().size(); ++i) {
+    EXPECT_NEAR(q_out.data()[i], f_out.data()[i], 0.05f * max_abs + 0.05f);
+  }
+}
+
+TEST(Int8Linear, ApproximatesFloatGemv) {
+  WeightGenerator gen(5);
+  const std::int64_t in = 32;
+  const std::int64_t out = 7;
+  const auto w = gen.sample_floats(static_cast<std::size_t>(in * out), 0.3f);
+  const auto bias = gen.sample_floats(static_cast<std::size_t>(out), 0.1f);
+  Int8Linear fc("fc", in, out, w, bias);
+  Tensor input(FeatureShape{in, 1, 1});
+  for (auto& v : input.data()) v = static_cast<float>(gen.rng().normal());
+  const Tensor got = fc.forward(input);
+  for (std::int64_t o = 0; o < out; ++o) {
+    float expect = bias[static_cast<std::size_t>(o)];
+    for (std::int64_t i = 0; i < in; ++i) {
+      expect += w[static_cast<std::size_t>(o * in + i)] *
+                input.at(i, 0, 0);
+    }
+    EXPECT_NEAR(got.at(o, 0, 0), expect, 0.15f);
+  }
+}
+
+TEST(Int8Linear, RequiresFlatInput) {
+  Int8Linear fc("fc", 4, 2, std::vector<float>(8, 0.1f),
+                std::vector<float>(2, 0.0f));
+  Tensor t(FeatureShape{4, 2, 1});
+  EXPECT_THROW(fc.forward(t), CheckError);
+}
+
+TEST(Topology, ResidualAddAndConcat) {
+  Tensor a(FeatureShape{1, 1, 2}, {1.0f, 2.0f});
+  Tensor b(FeatureShape{1, 1, 2}, {10.0f, 20.0f});
+  const Tensor sum = residual_add(a, b);
+  EXPECT_FLOAT_EQ(sum.data()[0], 11.0f);
+  EXPECT_FLOAT_EQ(sum.data()[1], 22.0f);
+  const Tensor cat = concat_channels(a, b);
+  EXPECT_EQ(cat.shape(), (FeatureShape{2, 1, 2}));
+  EXPECT_FLOAT_EQ(cat.at(0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cat.at(1, 0, 1), 20.0f);
+}
+
+TEST(Topology, ResidualShapeMismatchThrows) {
+  Tensor a(FeatureShape{1, 1, 2});
+  Tensor b(FeatureShape{1, 2, 1});
+  EXPECT_THROW(residual_add(a, b), CheckError);
+}
+
+TEST(LayerInfo, BinaryConvClassification) {
+  PackedKernel k3(KernelShape{4, 8, 3, 3});
+  BinaryConv2d c3("c3", std::move(k3), {.stride = 1, .padding = 1});
+  EXPECT_EQ(c3.info({8, 4, 4}).op_class, OpClass::kConv3x3);
+  EXPECT_EQ(c3.info({8, 4, 4}).precision_bits, 1);
+  EXPECT_EQ(c3.info({8, 4, 4}).storage_bits, 4u * 8u * 9u);
+
+  PackedKernel k1(KernelShape{4, 8, 1, 1});
+  BinaryConv2d c1("c1", std::move(k1), {.stride = 1, .padding = 0});
+  EXPECT_EQ(c1.info({8, 4, 4}).op_class, OpClass::kConv1x1);
+}
+
+TEST(LayerInfo, SetKernelShapeGuard) {
+  PackedKernel k(KernelShape{4, 8, 3, 3});
+  BinaryConv2d conv("c", std::move(k), {.stride = 1, .padding = 1});
+  EXPECT_THROW(conv.set_kernel(PackedKernel(KernelShape{4, 8, 1, 1})),
+               CheckError);
+  conv.set_kernel(PackedKernel(KernelShape{4, 8, 3, 3}));  // ok
+}
+
+TEST(OpClassNames, MatchTableI) {
+  EXPECT_EQ(op_class_name(OpClass::kInputLayer), "Input Layer");
+  EXPECT_EQ(op_class_name(OpClass::kOutputLayer), "Output Layer");
+  EXPECT_EQ(op_class_name(OpClass::kConv1x1), "Conv 1x1");
+  EXPECT_EQ(op_class_name(OpClass::kConv3x3), "Conv 3x3");
+  EXPECT_EQ(op_class_name(OpClass::kOther), "Others");
+}
+
+}  // namespace
+}  // namespace bkc::bnn

@@ -1,0 +1,77 @@
+// Tests for Sequential, OpRecord resolution and the storage breakdown.
+
+#include "bnn/model.h"
+
+#include <gtest/gtest.h>
+
+#include "bnn/weights.h"
+#include "util/check.h"
+
+namespace bkc::bnn {
+namespace {
+
+Sequential tiny_pipeline() {
+  WeightGenerator gen(11);
+  Sequential seq;
+  seq.emplace<SignActivation>();
+  seq.emplace<BinaryConv2d>("conv", gen.sample_kernel({4, 8, 3, 3}),
+                            ConvGeometry{1, 1});
+  seq.emplace<BatchNorm>("bn", std::vector<float>(4, 0.1f),
+                         std::vector<float>(4, 0.0f));
+  seq.emplace<GlobalAvgPool>();
+  return seq;
+}
+
+TEST(Sequential, ForwardProducesFinalShape) {
+  const Sequential seq = tiny_pipeline();
+  WeightGenerator gen(13);
+  const Tensor out = seq.forward(gen.sample_activation({8, 6, 6}));
+  EXPECT_EQ(out.shape(), (FeatureShape{4, 1, 1}));
+}
+
+TEST(Sequential, OpRecordsResolveShapesThrough) {
+  const Sequential seq = tiny_pipeline();
+  const auto records = seq.op_records({8, 6, 6});
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].output_shape, (FeatureShape{8, 6, 6}));
+  EXPECT_EQ(records[1].output_shape, (FeatureShape{4, 6, 6}));
+  EXPECT_EQ(records[1].op_class, OpClass::kConv3x3);
+  EXPECT_EQ(records[1].kernel_shape, (KernelShape{4, 8, 3, 3}));
+  EXPECT_EQ(records[3].output_shape, (FeatureShape{4, 1, 1}));
+  EXPECT_EQ(seq.output_shape({8, 6, 6}), (FeatureShape{4, 1, 1}));
+}
+
+TEST(Sequential, LayerAccessBounds) {
+  const Sequential seq = tiny_pipeline();
+  EXPECT_EQ(seq.size(), 4u);
+  EXPECT_EQ(seq.layer(0).name(), "sign");
+  EXPECT_THROW(seq.layer(4), CheckError);
+}
+
+TEST(StorageBreakdown, AggregatesByClass) {
+  StorageBreakdown b;
+  b.add({.name = "a",
+         .op_class = OpClass::kConv3x3,
+         .storage_bits = 900,
+         .macs = 100});
+  b.add({.name = "b",
+         .op_class = OpClass::kConv3x3,
+         .storage_bits = 100,
+         .macs = 100});
+  b.add({.name = "c",
+         .op_class = OpClass::kOutputLayer,
+         .storage_bits = 1000,
+         .macs = 200});
+  EXPECT_EQ(b.total_bits, 2000u);
+  EXPECT_DOUBLE_EQ(b.bits_fraction(OpClass::kConv3x3), 0.5);
+  EXPECT_DOUBLE_EQ(b.macs_fraction(OpClass::kOutputLayer), 0.5);
+  EXPECT_DOUBLE_EQ(b.bits_fraction(OpClass::kConv1x1), 0.0);
+}
+
+TEST(StorageBreakdown, EmptyThrows) {
+  StorageBreakdown b;
+  EXPECT_THROW(b.bits_fraction(OpClass::kConv3x3), CheckError);
+}
+
+}  // namespace
+}  // namespace bkc::bnn

@@ -1,0 +1,124 @@
+// Tests for the whole-model timing (Table I execution column and the
+// Sec VI speedup comparison) on a reduced-width ReActNet.
+
+#include "hwsim/perf_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace bkc::hwsim {
+namespace {
+
+bnn::ReActNetConfig small_config(std::uint64_t seed) {
+  bnn::ReActNetConfig config;
+  config.input_size = 32;
+  config.num_classes = 10;
+  config.blocks = bnn::mobilenet_v1_schedule(4);
+  config.stem_channels = config.blocks.front().in_channels;
+  config.seed = seed;
+  return config;
+}
+
+TEST(PerfModel, AnalyticCostsArePositiveAndScale) {
+  CpuParams cpu;
+  bnn::OpRecord fc;
+  fc.op_class = bnn::OpClass::kOutputLayer;
+  fc.macs = 1000;
+  fc.storage_bits = 8000;
+  const auto small = analytic_op_cycles(fc, cpu);
+  fc.macs = 2000;
+  const auto big = analytic_op_cycles(fc, cpu);
+  EXPECT_GT(small, 0u);
+  EXPECT_GT(big, small);
+}
+
+TEST(PerfModel, BandwidthBoundOps) {
+  CpuParams cpu;
+  bnn::OpRecord op;
+  op.op_class = bnn::OpClass::kOther;
+  op.macs = 1;                     // nearly free compute
+  op.storage_bits = 8 * 1280000;   // 1.28 MB of parameters
+  // 1.28e6 bytes / 12.8 B/cycle = 100000 cycles.
+  EXPECT_EQ(analytic_op_cycles(op, cpu), 100000u);
+}
+
+TEST(PerfModel, ModelTimingFractionsSumToOne) {
+  const bnn::ReActNet model(small_config(3));
+  const ModelTiming timing = time_model_baseline(model.op_records());
+  EXPECT_GT(timing.total_cycles, 0u);
+  double total = 0.0;
+  for (const auto cls :
+       {bnn::OpClass::kInputLayer, bnn::OpClass::kOutputLayer,
+        bnn::OpClass::kConv1x1, bnn::OpClass::kConv3x3,
+        bnn::OpClass::kOther}) {
+    total += timing.fraction(cls);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Binary 3x3 convolutions dominate execution, as in Table I.
+  EXPECT_GT(timing.fraction(bnn::OpClass::kConv3x3), 0.35);
+}
+
+TEST(PerfModel, CompareModelShapes) {
+  const bnn::ReActNet model(small_config(5));
+  const compress::ModelCompressor compressor;
+  const SpeedupReport report = compare_model(model, compressor);
+  ASSERT_EQ(report.conv3x3.size(), 13u);
+  EXPECT_GT(report.other_cycles, 0u);
+  EXPECT_EQ(report.total_baseline,
+            report.other_cycles +
+                [&] {
+                  std::uint64_t sum = 0;
+                  for (const auto& l : report.conv3x3) {
+                    sum += l.baseline_cycles;
+                  }
+                  return sum;
+                }());
+}
+
+TEST(PerfModel, SwSlowerHwNotSlower) {
+  // The paper's two headline directions: software decoding loses,
+  // hardware decoding wins (Secs IV-B and VI).
+  const bnn::ReActNet model(small_config(7));
+  const compress::ModelCompressor compressor;
+  const SpeedupReport report = compare_model(model, compressor);
+  EXPECT_GT(report.model_sw_slowdown(), 1.02);
+  EXPECT_GT(report.conv3x3_sw_slowdown(), 1.05);
+  for (const auto& layer : report.conv3x3) {
+    EXPECT_GT(layer.sw_slowdown(), 0.99) << layer.name;
+    // Layers with a reasonable spatial extent must not lose from
+    // hardware decoding. Tiny late layers of this *reduced* model (2x2
+    // or 1x1 outputs) are genuinely decode-bound - each sequence is
+    // decoded once but used for only a couple of pixels - which is a
+    // real crossover of the paper's design, surfaced by the ablation
+    // bench. The full-size model (>= 7x7) is on the winning side
+    // everywhere.
+    if (layer.baseline_detail.sampled_uops > 0 &&
+        layer.hw_detail.ldps_stall_cycles == 0) {
+      EXPECT_GT(layer.hw_speedup(), 0.95) << layer.name;
+    }
+  }
+}
+
+TEST(PerfModel, StreamInfoForMatchesKernel) {
+  bnn::WeightGenerator gen(11);
+  const auto dist = bnn::SequenceDistribution::fitted({0.645, 0.951});
+  const auto kernel = gen.sample_kernel3x3(32, 32, dist);
+  const auto compression = compress::compress_kernel_pipeline(kernel, true);
+  const StreamInfo stream = stream_info_for(compression);
+  EXPECT_EQ(stream.code_lengths.size(), 32u * 32u);
+  EXPECT_EQ(stream.total_bits, compression.compressed.stream_bits);
+  for (const auto len : stream.code_lengths) {
+    EXPECT_GE(len, 6);
+    EXPECT_LE(len, 12);
+  }
+}
+
+TEST(PerfModel, SpeedupReportGuards) {
+  SpeedupReport empty;
+  EXPECT_THROW(empty.model_sw_slowdown(), bkc::CheckError);
+  EXPECT_THROW(empty.conv3x3_hw_speedup(), bkc::CheckError);
+}
+
+}  // namespace
+}  // namespace bkc::hwsim

@@ -1,0 +1,135 @@
+// Integration tests: the model-level compression pipeline (Sec IV-A)
+// over a (reduced) ReActNet, checking the Table II / Table V bands.
+
+#include "compress/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "bnn/reactnet.h"
+#include "util/check.h"
+
+namespace bkc::compress {
+namespace {
+
+bnn::ReActNetConfig mid_config(std::uint64_t seed) {
+  // Width/4 keeps channel counts large enough (128-256) for the block
+  // statistics to be meaningful while staying fast.
+  bnn::ReActNetConfig config;
+  config.input_size = 32;
+  config.num_classes = 10;
+  config.blocks = bnn::mobilenet_v1_schedule(4);
+  config.stem_channels = config.blocks.front().in_channels;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Pipeline, AnalyzeProducesOneReportPerBlock) {
+  const bnn::ReActNet model(mid_config(3));
+  const ModelCompressor compressor;
+  const ModelReport report = compressor.analyze(model);
+  ASSERT_EQ(report.blocks.size(), 13u);
+  for (const auto& block : report.blocks) {
+    EXPECT_GT(block.num_sequences, 0u);
+    EXPECT_GT(block.encoding_ratio, 1.0);
+    EXPECT_GE(block.clustering_ratio, block.encoding_ratio * 0.98);
+    EXPECT_GE(block.huffman_ratio, block.clustering_ratio - 1e-9);
+    EXPECT_EQ(block.node_shares_encoding.size(), 4u);
+    EXPECT_EQ(block.uncompressed_bits, block.num_sequences * 9);
+  }
+}
+
+TEST(Pipeline, MeansSitInThePaperBands) {
+  const bnn::ReActNet model(mid_config(5));
+  const ModelCompressor compressor;
+  const ModelReport report = compressor.analyze(model);
+  // Paper: encoding 1.18-1.25 (mean ~1.2), clustering 1.30-1.36
+  // (mean 1.32), whole model 1.2x. Our synthetic distributions land in
+  // adjacent bands (see EXPERIMENTS.md for the full comparison).
+  EXPECT_GT(report.mean_encoding_ratio, 1.08);
+  EXPECT_LT(report.mean_encoding_ratio, 1.35);
+  EXPECT_GT(report.mean_clustering_ratio, 1.2);
+  EXPECT_LT(report.mean_clustering_ratio, 1.45);
+  EXPECT_GT(report.mean_clustering_ratio, report.mean_encoding_ratio);
+  EXPECT_GT(report.model_ratio, 1.1);
+  EXPECT_LT(report.model_ratio, 1.3);
+  // Charging the decode tables can only reduce the ratio; on this
+  // reduced-width model the tables are a visible (but bounded) cost,
+  // on the full-size model they are negligible (see bench/table5).
+  EXPECT_LE(report.model_ratio_with_tables, report.model_ratio);
+  EXPECT_GT(report.model_ratio_with_tables, 1.05);
+}
+
+TEST(Pipeline, BlockStatisticsTrackTableII) {
+  const bnn::ReActNet model(mid_config(7));
+  const ModelCompressor compressor;
+  const ModelReport report = compressor.analyze(model);
+  const auto& targets = bnn::paper_table2_targets();
+  for (std::size_t b = 0; b < report.blocks.size(); ++b) {
+    // Sampled shares track the fitted targets once the block has enough
+    // sequences for the empirical distribution to converge; blocks with
+    // few channels saturate (e.g. 64 sequences -> top-64 is trivially
+    // 100%), so only statistically meaningful blocks are checked.
+    if (report.blocks[b].num_sequences < 4096) continue;
+    EXPECT_NEAR(report.blocks[b].top64_share, targets[b].top64, 0.08)
+        << "block " << b;
+    EXPECT_NEAR(report.blocks[b].top256_share, targets[b].top256, 0.06)
+        << "block " << b;
+  }
+}
+
+TEST(Pipeline, CompressBlocksRoundtrip) {
+  const bnn::ReActNet model(mid_config(9));
+  const ModelCompressor compressor;
+  const auto artifacts = compressor.compress_blocks(model, false);
+  ASSERT_EQ(artifacts.size(), model.num_blocks());
+  for (std::size_t b = 0; b < artifacts.size(); ++b) {
+    const auto decoded =
+        decompress_kernel(artifacts[b].compressed, artifacts[b].codec);
+    EXPECT_TRUE(decoded == model.block(b).conv3x3().kernel());
+  }
+}
+
+TEST(Pipeline, CompressAndInstallMutatesKernels) {
+  bnn::ReActNet model(mid_config(11));
+  // Remember a kernel before installing.
+  const auto before = model.block(5).conv3x3().kernel();
+  const ModelCompressor compressor;
+  const ModelReport report = compressor.compress_and_install(model);
+  const auto& after = model.block(5).conv3x3().kernel();
+  EXPECT_FALSE(before == after);  // clustering flipped some weights
+  EXPECT_GT(report.mean_clustering_ratio, 1.0);
+}
+
+TEST(Pipeline, InstalledModelStillRunsInference) {
+  bnn::ReActNet model(bnn::tiny_reactnet_config(13));
+  bnn::WeightGenerator gen(14);
+  const Tensor image = gen.sample_activation(model.input_shape());
+  const Tensor before = model.forward(image);
+  const ModelCompressor compressor;
+  compressor.compress_and_install(model);
+  const Tensor after = model.forward(image);
+  ASSERT_EQ(after.shape(), before.shape());
+  // Outputs shift slightly (clustering flips ~1-3% of weights) but stay
+  // in a comparable range - the paper's "without negatively impacting
+  // accuracy" regime.
+  double diff = 0.0;
+  double magnitude = 0.0;
+  for (std::size_t i = 0; i < after.data().size(); ++i) {
+    diff += std::abs(after.data()[i] - before.data()[i]);
+    magnitude += std::abs(before.data()[i]);
+  }
+  EXPECT_LT(diff, 0.75 * magnitude + 1e-6);
+}
+
+TEST(Pipeline, CustomTreeConfigPropagates) {
+  const bnn::ReActNet model(mid_config(15));
+  const ModelCompressor fixed(GroupedTreeConfig::fixed9(), {});
+  const ModelReport report = fixed.analyze(model);
+  for (const auto& block : report.blocks) {
+    EXPECT_NEAR(block.encoding_ratio, 1.0, 1e-9);
+    EXPECT_EQ(block.node_shares_encoding.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace bkc::compress

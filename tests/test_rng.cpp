@@ -1,0 +1,139 @@
+// Tests for the deterministic PRNG and the alias sampler.
+
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bkc {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowZeroBoundThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.below(0), CheckError);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::array<int, 8> histogram{};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++histogram[rng.below(8)];
+  for (int count : histogram) {
+    EXPECT_NEAR(count, n / 8, n / 8 * 0.1);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(9);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(13);
+  const auto perm = rng.permutation(257);
+  std::array<bool, 257> seen{};
+  for (auto v : perm) {
+    ASSERT_LT(v, 257u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, WeightedPickRespectsWeights) {
+  Rng rng(17);
+  const std::array<double, 3> weights{0.0, 3.0, 1.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted_pick(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 3.0, 0.3);
+}
+
+TEST(AliasSampler, MatchesTargetDistribution) {
+  const std::array<double, 4> weights{1.0, 2.0, 3.0, 4.0};
+  AliasSampler sampler{weights};
+  Rng rng(23);
+  std::array<int, 4> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, weights[k] / 10.0, 0.01);
+  }
+}
+
+TEST(AliasSampler, ZeroWeightNeverSampled) {
+  const std::array<double, 3> weights{1.0, 0.0, 1.0};
+  AliasSampler sampler{weights};
+  Rng rng(29);
+  for (int i = 0; i < 20000; ++i) EXPECT_NE(sampler.sample(rng), 1u);
+}
+
+TEST(AliasSampler, RejectsInvalidWeights) {
+  const std::array<double, 2> negative{1.0, -1.0};
+  EXPECT_THROW(AliasSampler{negative}, CheckError);
+  const std::array<double, 2> zero{0.0, 0.0};
+  EXPECT_THROW(AliasSampler{zero}, CheckError);
+}
+
+}  // namespace
+}  // namespace bkc

@@ -1,0 +1,99 @@
+// Tests for the statistics helpers.
+
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace bkc {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_NEAR(stddev(v), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, EmptyThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), CheckError);
+  EXPECT_THROW(geomean(empty), CheckError);
+  EXPECT_THROW(percentile(empty, 50), CheckError);
+}
+
+TEST(Stats, GeomeanOfSpeedups) {
+  const std::vector<double> v{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomean(v), 2.0);
+  const std::vector<double> with_zero{1.0, 0.0};
+  EXPECT_THROW(geomean(with_zero), CheckError);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25);
+}
+
+TEST(Stats, EntropyUniformIsLogN) {
+  const std::vector<double> v(512, 1.0);
+  EXPECT_NEAR(entropy_bits(v), 9.0, 1e-12);
+}
+
+TEST(Stats, EntropyOfPointMassIsZero) {
+  std::vector<double> v(16, 0.0);
+  v[3] = 7.0;
+  EXPECT_DOUBLE_EQ(entropy_bits(v), 0.0);
+}
+
+TEST(Stats, EntropyIgnoresZeros) {
+  const std::vector<double> v{0.5, 0.5, 0.0, 0.0};
+  EXPECT_NEAR(entropy_bits(v), 1.0, 1e-12);
+}
+
+TEST(Stats, NormalizedSumsToOne) {
+  const std::vector<double> v{2, 3, 5};
+  const auto n = normalized(v);
+  EXPECT_DOUBLE_EQ(n[0] + n[1] + n[2], 1.0);
+  EXPECT_DOUBLE_EQ(n[2], 0.5);
+}
+
+TEST(Stats, RankDescendingIsStable) {
+  const std::vector<double> v{1.0, 3.0, 3.0, 2.0};
+  const auto order = rank_descending(v);
+  EXPECT_EQ(order[0], 1u);  // first of the tied 3.0s
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 3u);
+  EXPECT_EQ(order[3], 0u);
+}
+
+TEST(Stats, TopKShare) {
+  const std::vector<double> v{6, 1, 2, 1};
+  EXPECT_DOUBLE_EQ(top_k_share(v, 1), 0.6);
+  EXPECT_DOUBLE_EQ(top_k_share(v, 2), 0.8);
+  EXPECT_DOUBLE_EQ(top_k_share(v, 100), 1.0);  // clamped
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  RunningStats rs;
+  const std::vector<double> v{4, 8, 15, 16, 23, 42};
+  for (double x : v) rs.add(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_NEAR(rs.mean(), mean(v), 1e-12);
+  EXPECT_NEAR(std::sqrt(rs.variance()), stddev(v), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 4);
+  EXPECT_DOUBLE_EQ(rs.max(), 42);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), CheckError);
+}
+
+}  // namespace
+}  // namespace bkc

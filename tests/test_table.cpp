@@ -1,0 +1,55 @@
+// Tests for the ASCII table printer used by the bench harnesses.
+
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace bkc {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"Layer", "Ratio"});
+  t.row().add("block1").add(1.3);
+  t.row().add("b2").add(1.25);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| Layer  | Ratio |"), std::string::npos);
+  EXPECT_NE(s.find("| block1 | 1.30  |"), std::string::npos);
+  EXPECT_NE(s.find("| b2     | 1.25  |"), std::string::npos);
+}
+
+TEST(Table, MissingTrailingCellsRenderEmpty) {
+  Table t({"A", "B"});
+  t.row().add("x");
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| x |   |"), std::string::npos);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"A"});
+  t.row().add("x");
+  EXPECT_THROW(t.add("y"), CheckError);
+}
+
+TEST(Table, AddBeforeRowThrows) {
+  Table t({"A"});
+  EXPECT_THROW(t.add("x"), CheckError);
+}
+
+TEST(Table, NumericFormatting) {
+  Table t({"v"});
+  t.row().add(3.14159, 3);
+  EXPECT_NE(t.to_string().find("3.142"), std::string::npos);
+}
+
+TEST(Formatters, RatioPercentBits) {
+  EXPECT_EQ(ratio_str(1.327), "1.33x");
+  EXPECT_EQ(percent_str(0.463), "46.3%");
+  EXPECT_EQ(bits_str(25110000), "25.11 Mbit");
+  EXPECT_EQ(bits_str(4600), "4.60 Kbit");
+  EXPECT_EQ(bits_str(17), "17 bit");
+}
+
+}  // namespace
+}  // namespace bkc

@@ -1,0 +1,152 @@
+// Tests for the calibrated synthetic weight generator - the module that
+// substitutes for ImageNet-trained ReActNet weights.
+
+#include "bnn/weights.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compress/frequency.h"
+#include "util/check.h"
+
+namespace bkc::bnn {
+namespace {
+
+TEST(PopularityOrder, IsAPermutationStartingWithFigure3) {
+  const auto& order = SequenceDistribution::popularity_order();
+  std::set<SeqId> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNumSequences));
+  const auto& top16 = figure3_top16();
+  for (std::size_t i = 0; i < top16.size(); ++i) {
+    EXPECT_EQ(order[i], top16[i]) << "rank " << i;
+  }
+}
+
+TEST(PopularityOrder, HeadIsANearCoveringSet) {
+  // The top-64 must 1-cover nearly the whole 9-cube (this is what makes
+  // the paper's ~95% clustering substitution rate possible).
+  const auto& order = SequenceDistribution::popularity_order();
+  std::array<bool, kNumSequences> covered{};
+  for (int r = 0; r < 64; ++r) {
+    covered[order[r]] = true;
+    for (SeqId n : seq_neighbors1(order[r])) covered[n] = true;
+  }
+  int count = 0;
+  for (bool c : covered) count += c;
+  // The greedy pair-preserving covering reaches ~91% (466/512); a
+  // perfect covering of Q9 needs 62 free picks, and 8 of our 64 are
+  // pinned to Fig. 3's clustered extremes.
+  EXPECT_GT(count, 440);
+}
+
+TEST(Distribution, UniformShares) {
+  const auto d = SequenceDistribution::uniform();
+  EXPECT_NEAR(d.top_k_share(64), 64.0 / 512.0, 1e-12);
+  EXPECT_NEAR(d.entropy_bits(), 9.0, 1e-12);
+}
+
+TEST(Distribution, FittedHitsTableIITargetsExactly) {
+  for (const auto& target : paper_table2_targets()) {
+    const auto d = SequenceDistribution::fitted(target);
+    EXPECT_NEAR(d.top_k_share(64), target.top64, 5e-3);
+    EXPECT_NEAR(d.top_k_share(256), target.top256, 5e-3);
+  }
+}
+
+TEST(Distribution, FittedMatchesFigure3Interior) {
+  // Fig. 3: the all-zeros / all-ones pair lead at ~12.8%/12.7% and the
+  // top-16 carry ~46% when top-64 is ~64%.
+  const auto d = SequenceDistribution::fitted({0.645, 0.951});
+  EXPECT_NEAR(d.probability(0), 0.125, 0.025);
+  EXPECT_NEAR(d.probability(511), 0.125, 0.025);
+  EXPECT_NEAR(d.top_k_share(16), 0.46, 0.04);
+}
+
+TEST(Distribution, FittedIsComplementSymmetric) {
+  const auto d = SequenceDistribution::fitted({0.62, 0.90});
+  for (int s = 0; s < kNumSequences; ++s) {
+    EXPECT_DOUBLE_EQ(d.probability(static_cast<SeqId>(s)),
+                     d.probability(seq_complement(static_cast<SeqId>(s))));
+  }
+}
+
+TEST(Distribution, FittedRejectsBadTargets) {
+  EXPECT_THROW(SequenceDistribution::fitted({0.9, 0.8}), CheckError);
+  EXPECT_THROW(SequenceDistribution::fitted({0.0, 0.9}), CheckError);
+  EXPECT_THROW(SequenceDistribution::fitted({0.5, 1.0}), CheckError);
+}
+
+TEST(Distribution, ZipfMixtureMonotoneInRank) {
+  const auto d = SequenceDistribution::zipf_mixture(1.0, 0.1);
+  const auto& order = SequenceDistribution::popularity_order();
+  // Complement-symmetrisation makes adjacent pairs equal; check
+  // monotonicity across pair boundaries.
+  for (int r = 16; r + 2 < kNumSequences; r += 2) {
+    EXPECT_GE(d.probability(order[r]) + 1e-15,
+              d.probability(order[r + 2]));
+  }
+}
+
+TEST(Distribution, EntropyBelowNineBits) {
+  const auto d = SequenceDistribution::fitted({0.645, 0.951});
+  EXPECT_LT(d.entropy_bits(), 7.0);  // compressible
+  EXPECT_GT(d.entropy_bits(), 3.0);  // but not degenerate
+}
+
+TEST(Generator, SampledKernelMatchesDistribution) {
+  WeightGenerator gen(1234);
+  const auto target = paper_table2_targets()[6];  // block 7: 512 channels
+  const auto dist = SequenceDistribution::fitted(target);
+  const PackedKernel kernel = gen.sample_kernel3x3(256, 256, dist);
+  const auto table = compress::FrequencyTable::from_kernel(kernel);
+  EXPECT_NEAR(table.top_k_share(64), target.top64, 0.02);
+  EXPECT_NEAR(table.top_k_share(256), target.top256, 0.02);
+}
+
+TEST(Generator, Deterministic) {
+  WeightGenerator a(9);
+  WeightGenerator b(9);
+  const auto dist = SequenceDistribution::uniform();
+  EXPECT_TRUE(a.sample_kernel3x3(4, 16, dist) ==
+              b.sample_kernel3x3(4, 16, dist));
+}
+
+TEST(Generator, UniformKernelDensity) {
+  WeightGenerator gen(77);
+  const PackedKernel k = gen.sample_kernel({8, 64, 3, 3}, 0.5);
+  std::int64_t ones = 0;
+  for (std::int64_t o = 0; o < 8; ++o) {
+    for (std::int64_t i = 0; i < 64; ++i) {
+      for (int ky = 0; ky < 3; ++ky) {
+        for (int kx = 0; kx < 3; ++kx) ones += k.bit(o, i, ky, kx);
+      }
+    }
+  }
+  const double density = static_cast<double>(ones) / (8 * 64 * 9);
+  EXPECT_NEAR(density, 0.5, 0.03);
+}
+
+TEST(Generator, ActivationIsBalancedAndSmooth) {
+  WeightGenerator gen(31);
+  const Tensor act = gen.sample_activation({4, 16, 16});
+  int positive = 0;
+  for (float v : act.data()) positive += v >= 0.0f;
+  const double frac = static_cast<double>(positive) / act.data().size();
+  EXPECT_GT(frac, 0.25);
+  EXPECT_LT(frac, 0.75);
+}
+
+TEST(Generator, PaperTargetsHaveThirteenRows) {
+  const auto& targets = paper_table2_targets();
+  ASSERT_EQ(targets.size(), 13u);
+  for (const auto& t : targets) {
+    EXPECT_GT(t.top64, 0.5);
+    EXPECT_LT(t.top64, 0.8);
+    EXPECT_GT(t.top256, t.top64);
+    EXPECT_LT(t.top256, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace bkc::bnn
