@@ -7,10 +7,14 @@
 
 #include "core/bkc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bkc;
 
-  const bnn::ReActNet model(bnn::paper_reactnet_config(/*seed=*/42));
+  // --tiny swaps in the reduced test model so the CTest smoke run of
+  // this binary finishes in milliseconds.
+  const bnn::ReActNet model(has_flag(argc, argv, "--tiny")
+                                ? bnn::tiny_reactnet_config(/*seed=*/42)
+                                : bnn::paper_reactnet_config(/*seed=*/42));
 
   Table table({"M (common)", "N (removed)", "max dist", "mean ratio",
                "flipped bits", "model ratio"});

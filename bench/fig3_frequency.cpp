@@ -8,10 +8,14 @@
 
 #include "core/bkc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bkc;
 
-  const bnn::ReActNet model(bnn::paper_reactnet_config(/*seed=*/42));
+  // --tiny swaps in the reduced test model so the CTest smoke run of
+  // this binary finishes in milliseconds.
+  const bnn::ReActNet model(has_flag(argc, argv, "--tiny")
+                                ? bnn::tiny_reactnet_config(/*seed=*/42)
+                                : bnn::paper_reactnet_config(/*seed=*/42));
   // Fig. 3 is "one of the basic blocks"; block 4 (256 channels) has the
   // closest top-16 share to the figure's 46%.
   const std::size_t block_index = 3;

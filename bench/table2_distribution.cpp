@@ -6,10 +6,14 @@
 
 #include "core/bkc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bkc;
 
-  const bnn::ReActNet model(bnn::paper_reactnet_config(/*seed=*/42));
+  // --tiny swaps in the reduced test model so the CTest smoke run of
+  // this binary finishes in milliseconds.
+  const bnn::ReActNet model(has_flag(argc, argv, "--tiny")
+                                ? bnn::tiny_reactnet_config(/*seed=*/42)
+                                : bnn::paper_reactnet_config(/*seed=*/42));
   const auto& paper = bnn::paper_table2_targets();
 
   Table table({"Layer", "Top 64 (ours)", "Top 64 (paper)",

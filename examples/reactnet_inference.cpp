@@ -7,7 +7,7 @@
 // network's outputs (the paper's accuracy-neutrality claim) on a small
 // batch of synthetic images.
 //
-//   ./examples/reactnet_inference [num_images=3]
+//   ./examples/reactnet_inference [num_images=3] [--tiny]
 //
 // Note: full 224x224 inference in the portable engine takes a few
 // seconds per image.
@@ -20,12 +20,18 @@
 
 int main(int argc, char** argv) {
   using namespace bkc;
-  const int num_images = argc > 1 ? std::atoi(argv[1]) : 3;
+  // The count is positional and optional: skip it when argv[1] is a
+  // flag (so `reactnet_inference --tiny` still measures 3 images).
+  const int num_images =
+      argc > 1 && argv[1][0] != '-' ? std::atoi(argv[1]) : 3;
 
   // Reduced spatial size keeps the example responsive while preserving
   // every channel count (the statistics that matter are per-channel).
-  bnn::ReActNetConfig config = bnn::paper_reactnet_config(/*seed=*/42);
-  config.input_size = 64;
+  // --tiny shrinks the channels too, for the CTest smoke run.
+  bnn::ReActNetConfig config = has_flag(argc, argv, "--tiny")
+                                   ? bnn::tiny_reactnet_config(/*seed=*/42)
+                                   : bnn::paper_reactnet_config(/*seed=*/42);
+  config.input_size = has_flag(argc, argv, "--tiny") ? 32 : 64;
 
   Engine baseline(config, [] {
     EngineOptions o;

@@ -32,6 +32,8 @@
 #include "hwsim/perf_model.h"
 #include "tensor/tensor.h"
 #include "util/bitstream.h"
+#include "util/check.h"
+#include "util/cli.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"

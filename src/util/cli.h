@@ -1,0 +1,18 @@
+#pragma once
+// Minimal command-line helpers for the bench/example binaries. The
+// binaries default to the paper-sized configuration; the CTest smoke
+// runs pass --tiny to exercise the same code paths in milliseconds.
+
+#include <string_view>
+
+namespace bkc {
+
+/// True when `flag` (e.g. "--tiny") appears among the arguments.
+inline bool has_flag(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace bkc

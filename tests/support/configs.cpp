@@ -1,0 +1,25 @@
+#include "support/configs.h"
+
+namespace bkc::test {
+
+bnn::ReActNetConfig tiny_config(std::uint64_t seed) {
+  return bnn::tiny_reactnet_config(seed);
+}
+
+bnn::ReActNetConfig mid_config(std::uint64_t seed) {
+  bnn::ReActNetConfig config;
+  config.input_size = 32;
+  config.num_classes = 10;
+  config.blocks = bnn::mobilenet_v1_schedule(4);
+  config.stem_channels = config.blocks.front().in_channels;
+  config.seed = seed;
+  return config;
+}
+
+EngineOptions no_clustering() {
+  EngineOptions options;
+  options.clustering = false;
+  return options;
+}
+
+}  // namespace bkc::test

@@ -1,0 +1,29 @@
+#pragma once
+// Shared model/engine configuration factories for the bkc test suites.
+//
+// All model-level suites run on reduced ReActNets; the factories here
+// fix the sizes in one place so every suite agrees on what "tiny" and
+// "mid" mean (and on how many blocks / channels the assertions can
+// rely on).
+
+#include <cstdint>
+
+#include "bnn/reactnet.h"
+#include "core/engine.h"
+
+namespace bkc::test {
+
+/// 32x32 input, width/8 channels, 10 classes - the fastest full model
+/// (alias of bnn::tiny_reactnet_config, re-exported so suites only
+/// depend on the support library for their fixtures).
+bnn::ReActNetConfig tiny_config(std::uint64_t seed);
+
+/// 32x32 input, width/4 channels (128-256 per block), 10 classes.
+/// Large enough for per-block frequency statistics to be meaningful.
+bnn::ReActNetConfig mid_config(std::uint64_t seed);
+
+/// Engine options with the Sec III-C clustering pass disabled
+/// (encoding-only mode; inference stays bit-exact).
+EngineOptions no_clustering();
+
+}  // namespace bkc::test

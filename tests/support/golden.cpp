@@ -1,0 +1,42 @@
+#include "support/golden.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bkc::test {
+
+std::string golden_path(const std::string& name) {
+  return std::string(BKC_TEST_GOLDEN_DIR) + "/" + name;
+}
+
+std::string read_golden(const std::string& name) {
+  std::ifstream in(golden_path(name));
+  check(in.good(), "missing golden file " + golden_path(name) +
+                       " (set BKC_UPDATE_GOLDEN=1 to create it)");
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+bool update_goldens() {
+  const char* flag = std::getenv("BKC_UPDATE_GOLDEN");
+  return flag != nullptr && *flag != '\0' && std::string(flag) != "0";
+}
+
+void expect_matches_golden(const std::string& name,
+                           const std::string& actual) {
+  if (update_goldens()) {
+    std::ofstream out(golden_path(name));
+    check(out.good(), "cannot write golden file " + golden_path(name));
+    out << actual;
+    return;
+  }
+  EXPECT_EQ(read_golden(name), actual) << "golden mismatch: " << name;
+}
+
+}  // namespace bkc::test

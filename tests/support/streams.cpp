@@ -1,0 +1,37 @@
+#include "support/streams.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bitstream.h"
+
+namespace bkc::test {
+
+std::vector<BitField> random_bit_fields(Rng& rng, int count) {
+  std::vector<BitField> fields;
+  fields.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto width = static_cast<unsigned>(rng.range(1, 64));
+    std::uint64_t value = rng();
+    if (width < 64) value &= (1ULL << width) - 1;
+    fields.emplace_back(value, width);
+  }
+  return fields;
+}
+
+std::vector<std::uint8_t> expect_bits_roundtrip(
+    const std::vector<BitField>& fields) {
+  BitWriter writer;
+  for (const auto& [value, width] : fields) {
+    writer.write_bits(value, width);
+  }
+  const std::size_t total_bits = writer.bit_size();
+  const auto bytes = writer.take();
+  BitReader reader(bytes, total_bits);
+  for (const auto& [value, width] : fields) {
+    EXPECT_EQ(reader.read_bits(width), value);
+  }
+  EXPECT_EQ(reader.remaining(), 0u);
+  return bytes;
+}
+
+}  // namespace bkc::test

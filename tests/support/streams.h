@@ -1,0 +1,26 @@
+#pragma once
+// Bit-stream round-trip helpers shared by the bitstream and codec
+// suites.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bkc::test {
+
+/// One (value, width) field of a variable-length stream.
+using BitField = std::pair<std::uint64_t, unsigned>;
+
+/// `count` random fields with widths in [1, 64] and values masked to
+/// their width - the adversarial input of the round-trip property.
+std::vector<BitField> random_bit_fields(Rng& rng, int count);
+
+/// Writes every field MSB-first, reads them all back and EXPECTs
+/// bit-exact equality plus a fully consumed stream. Returns the byte
+/// buffer for any further assertions.
+std::vector<std::uint8_t> expect_bits_roundtrip(
+    const std::vector<BitField>& fields);
+
+}  // namespace bkc::test

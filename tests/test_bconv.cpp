@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/support.h"
+
 #include "bnn/binarize.h"
 #include "tensor/tensor.h"
 #include "util/check.h"
@@ -14,17 +16,8 @@
 namespace bkc::bnn {
 namespace {
 
-Tensor random_pm1_tensor(FeatureShape shape, Rng& rng) {
-  Tensor t(shape);
-  for (auto& v : t.data()) v = rng.chance(0.5) ? 1.0f : -1.0f;
-  return t;
-}
-
-WeightTensor random_pm1_weights(KernelShape shape, Rng& rng) {
-  WeightTensor w(shape);
-  for (auto& v : w.data()) v = rng.chance(0.5) ? 1.0f : -1.0f;
-  return w;
-}
+using test::random_pm1_tensor;
+using test::random_pm1_weights;
 
 void expect_matches_reference(const FeatureShape& in_shape,
                               const KernelShape& k_shape,

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "support/support.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -98,23 +99,9 @@ class BitstreamRoundtrip : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(BitstreamRoundtrip, RandomFieldsRoundtrip) {
   Rng rng(GetParam());
-  std::vector<std::pair<std::uint64_t, unsigned>> fields;
-  BitWriter writer;
   const int count = 200 + static_cast<int>(rng.below(200));
-  for (int i = 0; i < count; ++i) {
-    const auto width = static_cast<unsigned>(rng.range(1, 64));
-    std::uint64_t value = rng();
-    if (width < 64) value &= (1ULL << width) - 1;
-    writer.write_bits(value, width);
-    fields.emplace_back(value, width);
-  }
-  const std::size_t total_bits = writer.bit_size();
-  const auto bytes = writer.take();
-  BitReader reader(bytes, total_bits);
-  for (const auto& [value, width] : fields) {
-    EXPECT_EQ(reader.read_bits(width), value);
-  }
-  EXPECT_EQ(reader.remaining(), 0u);
+  const auto fields = test::random_bit_fields(rng, count);
+  test::expect_bits_roundtrip(fields);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BitstreamRoundtrip,

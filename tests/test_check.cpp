@@ -1,0 +1,69 @@
+// Tests for the runtime invariant-checking utilities (util/check.h):
+// the failure paths every precondition in the library reports through.
+
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace bkc {
+namespace {
+
+TEST(Check, TrueConditionDoesNotThrow) {
+  EXPECT_NO_THROW(check(true, "never reported"));
+}
+
+TEST(Check, FalseConditionThrowsCheckError) {
+  EXPECT_THROW(check(false, "boom"), CheckError);
+}
+
+TEST(Check, CheckErrorIsALogicError) {
+  // Callers that only know std::logic_error must still catch it.
+  EXPECT_THROW(check(false, "boom"), std::logic_error);
+}
+
+TEST(Check, MessageCarriesTextAndSourceLocation) {
+  try {
+    check(false, "tensor shape mismatch");
+    FAIL() << "check(false, ...) must throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("tensor shape mismatch"), std::string::npos) << what;
+    // The location prefix names this translation unit and a line.
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find(':'), std::string::npos) << what;
+  }
+}
+
+TEST(Check, UnreachableAlwaysThrows) {
+  EXPECT_THROW(unreachable("impossible decoder state"), std::logic_error);
+}
+
+TEST(Check, UnreachableMessageIsLabelled) {
+  try {
+    unreachable("impossible decoder state");
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unreachable"), std::string::npos) << what;
+    EXPECT_NE(what.find("impossible decoder state"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(Check, UnreachableIsNotACheckError) {
+  // unreachable() reports library bugs, not caller mistakes; it must
+  // not be confused with precondition violations.
+  try {
+    unreachable("internal");
+    FAIL() << "unreachable() must throw";
+  } catch (const CheckError&) {
+    FAIL() << "unreachable() must not throw CheckError";
+  } catch (const std::logic_error&) {
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace bkc

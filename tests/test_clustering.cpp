@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/support.h"
+
 #include "bnn/kernel_sequences.h"
 #include "bnn/weights.h"
 #include "compress/grouped_huffman.h"
@@ -129,9 +131,7 @@ TEST(Clustering, FlippedBitFractionAccounting) {
 TEST(Clustering, ImprovesCompressionOnCalibratedKernels) {
   // The headline mechanism of Table V: clustering must improve the
   // grouped-tree ratio on calibrated kernels.
-  bnn::WeightGenerator gen(7);
-  const auto dist = bnn::SequenceDistribution::fitted({0.632, 0.883});
-  const auto kernel = gen.sample_kernel3x3(256, 256, dist);
+  const auto kernel = test::calibrated_kernel(256, 256, 7, {0.632, 0.883});
   const auto t = FrequencyTable::from_kernel(kernel);
   const GroupedHuffmanCodec before(t);
   const auto clustering = cluster_sequences(t, {});
@@ -148,9 +148,7 @@ TEST(Clustering, DefaultsReduceAlphabetBelowNodeCapacity) {
   // With the default M=64 / N=352 and the near-covering popularity head,
   // nearly every removed sequence finds a substitution, leaving an
   // alphabet that mostly fits the first three tree nodes.
-  bnn::WeightGenerator gen(9);
-  const auto dist = bnn::SequenceDistribution::fitted({0.632, 0.883});
-  const auto kernel = gen.sample_kernel3x3(512, 512, dist);
+  const auto kernel = test::calibrated_kernel(512, 512, 9, {0.632, 0.883});
   const auto t = FrequencyTable::from_kernel(kernel);
   const auto result = cluster_sequences(t, {});
   const auto after = result.apply(t);

@@ -5,38 +5,17 @@
 #include <gtest/gtest.h>
 
 #include "bnn/kernel_sequences.h"
-#include "bnn/weights.h"
-#include "compress/kernel_codec.h"
 #include "hwsim/perf_model.h"
+#include "support/support.h"
 #include "util/check.h"
 
 namespace bkc::hwsim {
 namespace {
 
-bnn::OpRecord conv_op(std::int64_t channels, std::int64_t size,
-                      std::int64_t kernel = 3, std::int64_t stride = 1) {
-  bnn::OpRecord op;
-  op.name = "conv";
-  op.op_class = kernel == 3 ? bnn::OpClass::kConv3x3
-                            : bnn::OpClass::kConv1x1;
-  op.precision_bits = 1;
-  op.kernel_shape = {channels, channels, kernel, kernel};
-  op.input_shape = {channels, size, size};
-  op.geometry = {stride, kernel == 3 ? 1 : 0};
-  op.output_shape = op.geometry.output_shape(op.input_shape,
-                                             op.kernel_shape);
-  op.macs = static_cast<std::uint64_t>(op.output_shape.size() *
-                                       op.kernel_shape.receptive_size());
-  op.storage_bits = static_cast<std::uint64_t>(op.kernel_shape.size());
-  return op;
-}
+using test::conv_op;
 
 StreamInfo stream_for(std::int64_t channels, std::uint64_t seed) {
-  bnn::WeightGenerator gen(seed);
-  const auto dist = bnn::SequenceDistribution::fitted({0.645, 0.951});
-  const auto kernel = gen.sample_kernel3x3(channels, channels, dist);
-  const auto result = compress::compress_kernel_pipeline(kernel, true);
-  return stream_info_for(result);
+  return test::compressed_stream(channels, seed);
 }
 
 TEST(LayerGeometry, FromOpDerivesGroups) {

@@ -4,15 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include "support/support.h"
 #include "util/check.h"
 
 namespace bkc::hwsim {
 namespace {
 
-StreamInfo uniform_stream(std::size_t sequences, std::uint8_t bits) {
-  return StreamInfo::from_lengths(
-      std::vector<std::uint8_t>(sequences, bits));
-}
+using test::uniform_stream;
 
 TEST(StreamInfo, Accounting) {
   const auto s = uniform_stream(100, 7);

@@ -4,19 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include "support/support.h"
 #include "util/check.h"
 
 namespace bkc {
 namespace {
 
-EngineOptions no_clustering() {
-  EngineOptions options;
-  options.clustering = false;
-  return options;
-}
+using test::no_clustering;
 
 TEST(Engine, CompressReportsAndVerifies) {
-  Engine engine(bnn::tiny_reactnet_config(3));
+  Engine engine(test::tiny_config(3));
   EXPECT_FALSE(engine.is_compressed());
   const auto& report = engine.compress();
   EXPECT_TRUE(engine.is_compressed());
@@ -26,7 +23,7 @@ TEST(Engine, CompressReportsAndVerifies) {
 }
 
 TEST(Engine, CompressIsIdempotent) {
-  Engine engine(bnn::tiny_reactnet_config(5));
+  Engine engine(test::tiny_config(5));
   engine.compress();
   const auto kernel = engine.model().block(0).conv3x3().kernel();
   engine.compress();  // second call must not re-cluster
@@ -34,17 +31,34 @@ TEST(Engine, CompressIsIdempotent) {
 }
 
 TEST(Engine, AccessorsGuardUncompressedState) {
-  Engine engine(bnn::tiny_reactnet_config(7));
+  Engine engine(test::tiny_config(7));
   EXPECT_THROW(engine.report(), CheckError);
   EXPECT_THROW(engine.block_streams(), CheckError);
   EXPECT_THROW(engine.verify_streams(), CheckError);
   EXPECT_THROW(engine.simulate_speedup(), CheckError);
 }
 
+TEST(Engine, VerifyStreamsPreconditionNamesTheFix) {
+  // The error must tell the caller what to do, and tripping it must
+  // leave the engine usable: compress() afterwards still verifies.
+  Engine engine(test::tiny_config(17));
+  try {
+    engine.verify_streams();
+    FAIL() << "verify_streams() before compress() must throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("verify_streams"), std::string::npos) << what;
+    EXPECT_NE(what.find("compress()"), std::string::npos) << what;
+  }
+  EXPECT_FALSE(engine.is_compressed());
+  engine.compress();
+  EXPECT_TRUE(engine.verify_streams());
+}
+
 TEST(Engine, EncodingOnlyPreservesInferenceBitExactly) {
   // Without clustering the compression is lossless, so classify() must
   // produce IDENTICAL outputs before and after compress().
-  Engine engine(bnn::tiny_reactnet_config(9), no_clustering());
+  Engine engine(test::tiny_config(9), no_clustering());
   bnn::WeightGenerator gen(10);
   const Tensor image =
       gen.sample_activation(engine.model().input_shape());
@@ -58,7 +72,7 @@ TEST(Engine, EncodingOnlyPreservesInferenceBitExactly) {
 }
 
 TEST(Engine, ClusteringChangesOutputsOnlySlightly) {
-  Engine engine(bnn::tiny_reactnet_config(11));
+  Engine engine(test::tiny_config(11));
   bnn::WeightGenerator gen(12);
   const Tensor image =
       gen.sample_activation(engine.model().input_shape());
@@ -75,8 +89,8 @@ TEST(Engine, ClusteringChangesOutputsOnlySlightly) {
 }
 
 TEST(Engine, ClusteringImprovesModelRatio) {
-  Engine plain(bnn::tiny_reactnet_config(13), no_clustering());
-  Engine clustered(bnn::tiny_reactnet_config(13));
+  Engine plain(test::tiny_config(13), no_clustering());
+  Engine clustered(test::tiny_config(13));
   const auto& plain_report = plain.compress();
   const auto& clustered_report = clustered.compress();
   EXPECT_GT(clustered_report.mean_clustering_ratio,
@@ -84,7 +98,7 @@ TEST(Engine, ClusteringImprovesModelRatio) {
 }
 
 TEST(Engine, SimulateSpeedupRuns) {
-  Engine engine(bnn::tiny_reactnet_config(15));
+  Engine engine(test::tiny_config(15));
   engine.compress();
   const auto report = engine.simulate_speedup();
   EXPECT_EQ(report.conv3x3.size(), 13u);

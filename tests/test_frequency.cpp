@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/support.h"
+
 #include "bnn/kernel_sequences.h"
 #include "bnn/weights.h"
 #include "util/check.h"
@@ -94,9 +96,7 @@ TEST(FrequencyTable, ObservedLowUniqueCount) {
   // Sec I: "the number of unique sequences representing a set of
   // weights or inputs is typically low". Small kernels can't even reach
   // 512 distinct sequences.
-  bnn::WeightGenerator gen(3);
-  const auto dist = bnn::SequenceDistribution::fitted({0.645, 0.951});
-  const auto kernel = gen.sample_kernel3x3(16, 16, dist);
+  const auto kernel = test::calibrated_kernel(16, 16, 3);
   const auto t = FrequencyTable::from_kernel(kernel);
   EXPECT_LE(t.distinct(), 256u);
   EXPECT_EQ(t.total(), 256u);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/support.h"
+
 #include "bnn/weights.h"
 #include "compress/huffman.h"
 #include "util/check.h"
@@ -104,9 +106,7 @@ TEST(GroupedHuffman, NodeSharesSumToOne) {
 }
 
 TEST(GroupedHuffman, CompressionBeatsFixed9OnSkewedData) {
-  bnn::WeightGenerator gen(3);
-  const auto dist = bnn::SequenceDistribution::fitted({0.645, 0.951});
-  const auto kernel = gen.sample_kernel3x3(128, 128, dist);
+  const auto kernel = test::calibrated_kernel(128, 128, 3);
   const auto t = FrequencyTable::from_kernel(kernel);
   const GroupedHuffmanCodec paper(t, GroupedTreeConfig::paper());
   const GroupedHuffmanCodec fixed(t, GroupedTreeConfig::fixed9());
@@ -117,9 +117,7 @@ TEST(GroupedHuffman, CompressionBeatsFixed9OnSkewedData) {
 TEST(GroupedHuffman, WorseThanFullHuffmanButClose) {
   // The simplified tree trades compression for hardware simplicity
   // (Sec III-B): it must be within ~15% of the optimal prefix code.
-  bnn::WeightGenerator gen(5);
-  const auto dist = bnn::SequenceDistribution::fitted({0.62, 0.9});
-  const auto kernel = gen.sample_kernel3x3(128, 128, dist);
+  const auto kernel = test::calibrated_kernel(128, 128, 5, {0.62, 0.9});
   const auto t = FrequencyTable::from_kernel(kernel);
   const GroupedHuffmanCodec grouped(t);
   const auto full = HuffmanCodec::build(t);

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/support.h"
+
 #include <cmath>
 
 #include "bnn/weights.h"
@@ -66,9 +68,7 @@ TEST(Huffman, KraftEqualityHolds) {
 }
 
 TEST(Huffman, WithinOneBitOfEntropy) {
-  bnn::WeightGenerator gen(17);
-  const auto dist = bnn::SequenceDistribution::fitted({0.645, 0.951});
-  const auto kernel = gen.sample_kernel3x3(128, 128, dist);
+  const auto kernel = test::calibrated_kernel(128, 128, 17);
   const auto t = FrequencyTable::from_kernel(kernel);
   const auto codec = HuffmanCodec::build(t);
   const double avg_bits =

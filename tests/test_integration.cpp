@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/bkc.h"
+#include "support/support.h"
 
 namespace bkc {
 namespace {
@@ -13,11 +14,7 @@ namespace {
 class EndToEnd : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(EndToEnd, LosslessChainForAnySeed) {
-  Engine engine(bnn::tiny_reactnet_config(GetParam()), [] {
-    EngineOptions o;
-    o.clustering = false;
-    return o;
-  }());
+  Engine engine(test::tiny_config(GetParam()), test::no_clustering());
   engine.compress();
   EXPECT_TRUE(engine.verify_streams());
   // Every stream decodes to the installed kernel AND re-encodes to the
@@ -33,7 +30,7 @@ TEST_P(EndToEnd, LosslessChainForAnySeed) {
 }
 
 TEST_P(EndToEnd, ClusteredChainStaysConsistent) {
-  Engine engine(bnn::tiny_reactnet_config(GetParam()));
+  Engine engine(test::tiny_config(GetParam()));
   const auto& report = engine.compress();
   EXPECT_TRUE(engine.verify_streams());
   // Accounting consistency: the clustered stream bits reported by the
@@ -59,14 +56,14 @@ TEST_P(EndToEnd, ClusteredChainStaysConsistent) {
 TEST_P(EndToEnd, CompressedInferenceMatchesManualDecodePath) {
   // Decoding each stream and installing the result must give the same
   // network the engine already runs: classify() outputs are identical.
-  Engine engine(bnn::tiny_reactnet_config(GetParam()));
+  Engine engine(test::tiny_config(GetParam()));
   engine.compress();
   bnn::WeightGenerator gen(GetParam() + 1000);
   const Tensor image =
       gen.sample_activation(engine.model().input_shape());
   const Tensor direct = engine.classify(image);
 
-  bnn::ReActNet rebuilt(bnn::tiny_reactnet_config(GetParam()));
+  bnn::ReActNet rebuilt(test::tiny_config(GetParam()));
   for (std::size_t b = 0; b < engine.block_streams().size(); ++b) {
     const auto& stream = engine.block_streams()[b];
     rebuilt.block(b).conv3x3().set_kernel(
@@ -79,7 +76,7 @@ TEST_P(EndToEnd, CompressedInferenceMatchesManualDecodePath) {
 }
 
 TEST_P(EndToEnd, TimingVariantsRankConsistently) {
-  Engine engine(bnn::tiny_reactnet_config(GetParam()));
+  Engine engine(test::tiny_config(GetParam()));
   engine.compress();
   hwsim::SamplingParams fast{.sample_rows = 2, .warmup_rows = 1};
   const auto report = engine.simulate_speedup({}, {}, fast);

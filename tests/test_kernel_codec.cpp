@@ -5,18 +5,13 @@
 #include <gtest/gtest.h>
 
 #include "bnn/kernel_sequences.h"
-#include "bnn/weights.h"
+#include "support/support.h"
 #include "util/check.h"
 
 namespace bkc::compress {
 namespace {
 
-bnn::PackedKernel calibrated_kernel(std::int64_t out, std::int64_t in,
-                                    std::uint64_t seed) {
-  bnn::WeightGenerator gen(seed);
-  const auto dist = bnn::SequenceDistribution::fitted({0.645, 0.951});
-  return gen.sample_kernel3x3(out, in, dist);
-}
+using test::calibrated_kernel;
 
 TEST(KernelCodec, LosslessRoundtrip) {
   const auto kernel = calibrated_kernel(32, 64, 3);
@@ -92,8 +87,7 @@ TEST(KernelCodec, EmptyStreamRatioThrows) {
 TEST(KernelCodec, TinyKernelRoundtrip) {
   const std::vector<SeqId> seqs{0, 511, 369, 7};
   const auto kernel = bnn::kernel_from_sequences(2, 2, seqs);
-  const auto result = compress_kernel_pipeline(kernel, false);
-  EXPECT_TRUE(decompress_kernel(result.compressed, result.codec) == kernel);
+  EXPECT_TRUE(test::pipeline_round_trip(kernel, false) == kernel);
 }
 
 }  // namespace

@@ -5,20 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include "support/support.h"
+
 #include "util/check.h"
 
 namespace bkc::hwsim {
 namespace {
 
-bnn::ReActNetConfig small_config(std::uint64_t seed) {
-  bnn::ReActNetConfig config;
-  config.input_size = 32;
-  config.num_classes = 10;
-  config.blocks = bnn::mobilenet_v1_schedule(4);
-  config.stem_channels = config.blocks.front().in_channels;
-  config.seed = seed;
-  return config;
-}
+// width/4 ReActNet: big enough for meaningful per-block statistics.
+using test::mid_config;
 
 TEST(PerfModel, AnalyticCostsArePositiveAndScale) {
   CpuParams cpu;
@@ -44,7 +39,7 @@ TEST(PerfModel, BandwidthBoundOps) {
 }
 
 TEST(PerfModel, ModelTimingFractionsSumToOne) {
-  const bnn::ReActNet model(small_config(3));
+  const bnn::ReActNet model(mid_config(3));
   const ModelTiming timing = time_model_baseline(model.op_records());
   EXPECT_GT(timing.total_cycles, 0u);
   double total = 0.0;
@@ -60,7 +55,7 @@ TEST(PerfModel, ModelTimingFractionsSumToOne) {
 }
 
 TEST(PerfModel, CompareModelShapes) {
-  const bnn::ReActNet model(small_config(5));
+  const bnn::ReActNet model(mid_config(5));
   const compress::ModelCompressor compressor;
   const SpeedupReport report = compare_model(model, compressor);
   ASSERT_EQ(report.conv3x3.size(), 13u);
@@ -79,7 +74,7 @@ TEST(PerfModel, CompareModelShapes) {
 TEST(PerfModel, SwSlowerHwNotSlower) {
   // The paper's two headline directions: software decoding loses,
   // hardware decoding wins (Secs IV-B and VI).
-  const bnn::ReActNet model(small_config(7));
+  const bnn::ReActNet model(mid_config(7));
   const compress::ModelCompressor compressor;
   const SpeedupReport report = compare_model(model, compressor);
   EXPECT_GT(report.model_sw_slowdown(), 1.02);
@@ -101,9 +96,7 @@ TEST(PerfModel, SwSlowerHwNotSlower) {
 }
 
 TEST(PerfModel, StreamInfoForMatchesKernel) {
-  bnn::WeightGenerator gen(11);
-  const auto dist = bnn::SequenceDistribution::fitted({0.645, 0.951});
-  const auto kernel = gen.sample_kernel3x3(32, 32, dist);
+  const auto kernel = test::calibrated_kernel(32, 32, 11);
   const auto compression = compress::compress_kernel_pipeline(kernel, true);
   const StreamInfo stream = stream_info_for(compression);
   EXPECT_EQ(stream.code_lengths.size(), 32u * 32u);

@@ -5,23 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include "support/support.h"
+
 #include "bnn/reactnet.h"
 #include "util/check.h"
 
 namespace bkc::compress {
 namespace {
 
-bnn::ReActNetConfig mid_config(std::uint64_t seed) {
-  // Width/4 keeps channel counts large enough (128-256) for the block
-  // statistics to be meaningful while staying fast.
-  bnn::ReActNetConfig config;
-  config.input_size = 32;
-  config.num_classes = 10;
-  config.blocks = bnn::mobilenet_v1_schedule(4);
-  config.stem_channels = config.blocks.front().in_channels;
-  config.seed = seed;
-  return config;
-}
+using test::mid_config;
 
 TEST(Pipeline, AnalyzeProducesOneReportPerBlock) {
   const bnn::ReActNet model(mid_config(3));

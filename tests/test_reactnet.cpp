@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "support/support.h"
 #include "util/check.h"
 
 namespace bkc::bnn {
@@ -66,7 +69,7 @@ TEST(BasicBlock, Conv3x3IsInToIn) {
 }
 
 TEST(ReActNet, TinyForwardRuns) {
-  const ReActNet model(tiny_reactnet_config(21));
+  const ReActNet model(test::tiny_config(21));
   Tensor image(model.input_shape());
   WeightGenerator gen(22);
   image = gen.sample_activation(model.input_shape());
@@ -83,7 +86,7 @@ TEST(ReActNet, TinyForwardRuns) {
 }
 
 TEST(ReActNet, ForwardIsDeterministic) {
-  const ReActNet model(tiny_reactnet_config(33));
+  const ReActNet model(test::tiny_config(33));
   WeightGenerator gen(34);
   const Tensor image = gen.sample_activation(model.input_shape());
   const Tensor a = model.forward(image);
@@ -94,8 +97,8 @@ TEST(ReActNet, ForwardIsDeterministic) {
 }
 
 TEST(ReActNet, SameSeedSameModel) {
-  const ReActNet a(tiny_reactnet_config(55));
-  const ReActNet b(tiny_reactnet_config(55));
+  const ReActNet a(test::tiny_config(55));
+  const ReActNet b(test::tiny_config(55));
   for (std::size_t i = 0; i < a.num_blocks(); ++i) {
     EXPECT_TRUE(a.block(i).conv3x3().kernel() ==
                 b.block(i).conv3x3().kernel());
@@ -103,7 +106,7 @@ TEST(ReActNet, SameSeedSameModel) {
 }
 
 TEST(ReActNet, WrongInputShapeThrows) {
-  const ReActNet model(tiny_reactnet_config());
+  const ReActNet model(test::tiny_config(42));
   Tensor bad(FeatureShape{3, 16, 16});
   EXPECT_THROW(model.forward(bad), CheckError);
 }
@@ -123,7 +126,7 @@ TEST(ReActNet, PaperStorageBreakdownMatchesTableI) {
 }
 
 TEST(ReActNet, OpRecordsCoverEveryConv) {
-  const ReActNet model(tiny_reactnet_config());
+  const ReActNet model(test::tiny_config(42));
   const auto records = model.op_records();
   int conv3 = 0;
   int conv1 = 0;
@@ -147,8 +150,24 @@ TEST(ReActNet, OpRecordsCoverEveryConv) {
 }
 
 TEST(ReActNet, BlockIndexGuard) {
-  const ReActNet model(tiny_reactnet_config());
+  const ReActNet model(test::tiny_config(42));
   EXPECT_THROW(model.block(13), CheckError);
+}
+
+TEST(ReActNet, OpRecordLayoutMatchesGolden) {
+  // The resolved op list (names, shapes, precisions, storage) is the
+  // contract both the compressor and the timing model consume; pin it.
+  const ReActNet model(test::tiny_config(42));
+  std::ostringstream out;
+  for (const auto& r : model.op_records()) {
+    out << r.name << " " << op_class_name(r.op_class) << " int"
+        << r.precision_bits << " in=" << r.input_shape.to_string()
+        << " out=" << r.output_shape.to_string()
+        << " kernel=" << r.kernel_shape.to_string()
+        << " storage_bits=" << r.storage_bits << " macs=" << r.macs
+        << "\n";
+  }
+  test::expect_matches_golden("reactnet_tiny_ops.txt", out.str());
 }
 
 }  // namespace
