@@ -7,14 +7,16 @@
 // network's outputs (the paper's accuracy-neutrality claim) on a small
 // batch of synthetic images.
 //
-//   ./examples/reactnet_inference [num_images=3] [--tiny]
+//   ./examples/reactnet_inference [num_images=3] [--tiny] [--threads N]
 //
-// Note: full 224x224 inference in the portable engine takes a few
-// seconds per image.
+// --threads N fans the image batch out across N workers (the scores
+// are bit-identical to the serial run at any N). Note: full 224x224
+// inference in the portable engine takes a few seconds per image.
 
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "core/bkc.h"
 
@@ -24,6 +26,8 @@ int main(int argc, char** argv) {
   // flag (so `reactnet_inference --tiny` still measures 3 images).
   const int num_images =
       argc > 1 && argv[1][0] != '-' ? std::atoi(argv[1]) : 3;
+  const int num_threads = flag_value(argc, argv, "--threads", 2);
+  check(num_threads >= 1, "reactnet_inference: --threads must be >= 1");
 
   // Reduced spatial size keeps the example responsive while preserving
   // every channel count (the statistics that matter are per-channel).
@@ -55,8 +59,8 @@ int main(int argc, char** argv) {
   t1.print("Storage breakdown (paper Table I: 0.02 / 22.2 / 8.5 / 68 %)");
 
   // ---- Compression ----
-  const auto& report = clustered.compress();
-  baseline.compress();
+  const auto& report = clustered.compress(num_threads);
+  baseline.compress(num_threads);
   std::cout << "\nKernel compression: encoding "
             << ratio_str(report.mean_encoding_ratio) << ", clustering "
             << ratio_str(report.mean_clustering_ratio)
@@ -66,14 +70,22 @@ int main(int argc, char** argv) {
   // ---- Clustering accuracy proxy ----
   // Compare class scores of the exact network vs the clustered one on
   // synthetic images: top-1 agreement and relative score perturbation.
+  // Both batches fan out across --threads workers; the determinism
+  // guarantee makes the comparison independent of the thread count.
   bnn::WeightGenerator gen(123);
+  std::vector<Tensor> images;
+  for (int i = 0; i < num_images; ++i) {
+    images.push_back(gen.sample_activation(baseline.model().input_shape()));
+  }
+  const std::vector<Tensor> exact_scores =
+      baseline.classify_batch(images, num_threads);
+  const std::vector<Tensor> approx_scores =
+      clustered.classify_batch(images, num_threads);
   int agree = 0;
   double rel_error_sum = 0.0;
   for (int i = 0; i < num_images; ++i) {
-    const Tensor image =
-        gen.sample_activation(baseline.model().input_shape());
-    const Tensor exact = baseline.classify(image);
-    const Tensor approx = clustered.classify(image);
+    const Tensor& exact = exact_scores[static_cast<std::size_t>(i)];
+    const Tensor& approx = approx_scores[static_cast<std::size_t>(i)];
     std::int64_t best_exact = 0;
     std::int64_t best_approx = 0;
     double diff = 0.0;

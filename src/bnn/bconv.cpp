@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace bkc::bnn {
 
@@ -24,7 +25,13 @@ Tensor binary_conv2d(const PackedFeature& input, const PackedKernel& kernel,
   // masked-off lanes of the tail word which are forced to match below.
   const std::int64_t receptive = k_shape.receptive_size();
 
-  for (std::int64_t o = 0; o < out_shape.channels; ++o) {
+  // Output channels are independent (each one reads the shared input and
+  // its own kernel slice, and writes its own output plane), so the outer
+  // loop fans out across threads; every (o, oy, ox) accumulation stays
+  // thread-local, keeping results bit-identical at any thread count.
+  parallel_for(out_shape.channels, current_num_threads(), [&](
+                   std::int64_t o_begin, std::int64_t o_end) {
+  for (std::int64_t o = o_begin; o < o_end; ++o) {
     for (std::int64_t oy = 0; oy < out_shape.height; ++oy) {
       const std::int64_t base_y = oy * geometry.stride - geometry.padding;
       for (std::int64_t ox = 0; ox < out_shape.width; ++ox) {
@@ -65,6 +72,7 @@ Tensor binary_conv2d(const PackedFeature& input, const PackedKernel& kernel,
       }
     }
   }
+  });
   return out;
 }
 

@@ -19,6 +19,11 @@ namespace bkc::bnn {
 /// Binary convolution returning the integer dot products as floats
 /// (range [-K, K] with K = in_channels * kernel_h * kernel_w).
 /// Works for any kernel size; the paper's models use 3x3 and 1x1.
+///
+/// The per-output-channel loop runs on bkc::current_num_threads()
+/// threads (util/thread_pool.h); results are bit-identical at every
+/// thread count because each output channel is computed independently.
+/// Engine::classify(image, num_threads) is the usual way to set this.
 Tensor binary_conv2d(const PackedFeature& input, const PackedKernel& kernel,
                      ConvGeometry geometry);
 

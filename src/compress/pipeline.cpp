@@ -1,8 +1,11 @@
 #include "compress/pipeline.h"
 
+#include <optional>
+
 #include "compress/huffman.h"
 #include "util/check.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace bkc::compress {
 
@@ -46,6 +49,7 @@ BlockReport ModelCompressor::analyze_block(
   }
   report.flipped_bit_fraction = clustering.flipped_bit_fraction();
   report.replaced_sequences = clustering.replacements().size();
+  report.decode_table_bits = clustered_codec.table_bits();
 
   // Full-Huffman bound on the clustered alphabet.
   const HuffmanCodec huffman = HuffmanCodec::build(clustered);
@@ -53,25 +57,33 @@ BlockReport ModelCompressor::analyze_block(
   return report;
 }
 
-ModelReport ModelCompressor::analyze(const bnn::ReActNet& model) const {
+ModelReport ModelCompressor::analyze(const bnn::ReActNet& model,
+                                     int num_threads) const {
+  // Phase 1 (parallel): per-block analysis into disjoint slots. Blocks
+  // are independent by construction, so the fan-out cannot change any
+  // per-block number.
+  std::vector<BlockReport> blocks(model.num_blocks());
+  parallel_for(static_cast<std::int64_t>(model.num_blocks()), num_threads,
+               [&](std::int64_t begin, std::int64_t end) {
+                 for (std::int64_t b = begin; b < end; ++b) {
+                   const auto& block =
+                       model.block(static_cast<std::size_t>(b));
+                   blocks[static_cast<std::size_t>(b)] = analyze_block(
+                       block.name(), block.conv3x3().kernel());
+                 }
+               });
+
+  // Phase 2 (serial, in block order): the reduction. Keeping it serial
+  // makes the aggregate sums and means bit-identical to the
+  // single-threaded path.
   ModelReport report;
   std::vector<double> encoding_ratios;
   std::vector<double> clustering_ratios;
-
-  for (std::size_t b = 0; b < model.num_blocks(); ++b) {
-    const auto& block = model.block(b);
-    BlockReport block_report =
-        analyze_block(block.name(), block.conv3x3().kernel());
+  for (BlockReport& block_report : blocks) {
     report.conv3x3_bits += block_report.uncompressed_bits;
     report.conv3x3_encoding_bits += block_report.encoding_bits;
     report.conv3x3_clustering_bits += block_report.clustering_bits;
-
-    const FrequencyTable table =
-        FrequencyTable::from_kernel(block.conv3x3().kernel());
-    const ClusteringResult clustering = cluster_sequences(table, clustering_);
-    const GroupedHuffmanCodec codec(clustering.apply(table), tree_);
-    report.decode_table_bits += codec.table_bits();
-
+    report.decode_table_bits += block_report.decode_table_bits;
     encoding_ratios.push_back(block_report.encoding_ratio);
     clustering_ratios.push_back(block_report.clustering_ratio);
     report.blocks.push_back(std::move(block_report));
@@ -94,13 +106,25 @@ ModelReport ModelCompressor::analyze(const bnn::ReActNet& model) const {
 }
 
 std::vector<KernelCompression> ModelCompressor::compress_blocks(
-    const bnn::ReActNet& model, bool apply_clustering) const {
+    const bnn::ReActNet& model, bool apply_clustering,
+    int num_threads) const {
+  // KernelCompression is not default-constructible (the codec requires a
+  // frequency table), so the parallel phase fills optional slots and the
+  // serial phase unwraps them in block order.
+  std::vector<std::optional<KernelCompression>> slots(model.num_blocks());
+  parallel_for(static_cast<std::int64_t>(model.num_blocks()), num_threads,
+               [&](std::int64_t begin, std::int64_t end) {
+                 for (std::int64_t b = begin; b < end; ++b) {
+                   const auto i = static_cast<std::size_t>(b);
+                   slots[i].emplace(compress_kernel_pipeline(
+                       model.block(i).conv3x3().kernel(), apply_clustering,
+                       tree_, clustering_));
+                 }
+               });
   std::vector<KernelCompression> out;
   out.reserve(model.num_blocks());
-  for (std::size_t b = 0; b < model.num_blocks(); ++b) {
-    out.push_back(compress_kernel_pipeline(model.block(b).conv3x3().kernel(),
-                                           apply_clustering, tree_,
-                                           clustering_));
+  for (std::optional<KernelCompression>& slot : slots) {
+    out.push_back(std::move(*slot));
   }
   return out;
 }

@@ -43,6 +43,9 @@ struct BlockReport {
   /// Accuracy proxy: fraction of kernel weight bits flipped.
   double flipped_bit_fraction = 0.0;
   std::size_t replaced_sequences = 0;  ///< distinct sequences removed
+
+  /// Decode-table storage of the clustered codec for this block.
+  std::uint64_t decode_table_bits = 0;
 };
 
 /// Whole-model outcome.
@@ -70,13 +73,18 @@ class ModelCompressor {
                            ClusteringConfig clustering = {});
 
   /// Measure everything (both Table V columns) without mutating the
-  /// model.
-  ModelReport analyze(const bnn::ReActNet& model) const;
+  /// model. Blocks are analyzed independently, fanned out over
+  /// `num_threads` (util/thread_pool.h) with a fixed partition and a
+  /// serial in-order reduction, so the report is bit-identical to the
+  /// serial (num_threads == 1) result at every thread count.
+  ModelReport analyze(const bnn::ReActNet& model, int num_threads = 1) const;
 
   /// Per-block compression artifacts (codec + stream + coded kernel),
-  /// with or without the clustering pass.
+  /// with or without the clustering pass. Per-block work fans out over
+  /// `num_threads`; streams are bit-identical at every thread count.
   std::vector<KernelCompression> compress_blocks(const bnn::ReActNet& model,
-                                                 bool apply_clustering) const;
+                                                 bool apply_clustering,
+                                                 int num_threads = 1) const;
 
   /// Install the clustered kernels into the model (this is what the
   /// deployed network evaluates) and return the analysis report.

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace bkc {
 
@@ -10,37 +11,61 @@ Engine::Engine(const bnn::ReActNetConfig& model_config,
       model_(model_config),
       compressor_(options.tree, options.clustering_config) {}
 
-const compress::ModelReport& Engine::compress() {
+const compress::ModelReport& Engine::compress(int num_threads) {
   if (compressed_) return report_;
-  report_ = compressor_.analyze(model_);
+  report_ = compressor_.analyze(model_, num_threads);
+  // One pipeline pass per block produces both the stream and, when
+  // clustering, the kernel to deploy: coded_kernel is exactly what the
+  // stream encodes, so installing it keeps verify_streams() bit-exact
+  // without re-running the clustering search per block.
+  streams_ = compressor_.compress_blocks(model_, options_.clustering,
+                                         num_threads);
   if (options_.clustering) {
-    // Install the clustered kernels: the deployed network evaluates the
-    // same weights the streams encode.
     for (std::size_t b = 0; b < model_.num_blocks(); ++b) {
-      auto& conv = model_.block(b).conv3x3();
-      const auto table =
-          compress::FrequencyTable::from_kernel(conv.kernel());
-      const auto clustering =
-          compress::cluster_sequences(table, options_.clustering_config);
-      conv.set_kernel(clustering.apply(conv.kernel()));
+      model_.block(b).conv3x3().set_kernel(streams_[b].coded_kernel);
     }
   }
-  streams_ = compressor_.compress_blocks(model_, /*apply_clustering=*/false);
   compressed_ = true;
   return report_;
 }
 
-Tensor Engine::classify(const Tensor& image) const {
+Tensor Engine::classify(const Tensor& image, int num_threads) const {
+  // The binary convolutions pick the count up via current_num_threads();
+  // the scoped override keeps the setting local to this call (and to
+  // this thread).
+  ScopedNumThreads threads(num_threads);
   return model_.forward(image);
 }
 
-bool Engine::verify_streams() const {
+std::vector<Tensor> Engine::classify_batch(const std::vector<Tensor>& images,
+                                           int num_threads) const {
+  std::vector<Tensor> scores(images.size());
+  parallel_for(static_cast<std::int64_t>(images.size()), num_threads,
+               [&](std::int64_t begin, std::int64_t end) {
+                 for (std::int64_t i = begin; i < end; ++i) {
+                   const auto idx = static_cast<std::size_t>(i);
+                   scores[idx] = model_.forward(images[idx]);
+                 }
+               });
+  return scores;
+}
+
+bool Engine::verify_streams(int num_threads) const {
   check(compressed_, "Engine::verify_streams: call compress() first");
-  for (std::size_t b = 0; b < streams_.size(); ++b) {
-    const auto& stream = streams_[b];
-    const bnn::PackedKernel decoded =
-        compress::decompress_kernel(stream.compressed, stream.codec);
-    if (!(decoded == model_.block(b).conv3x3().kernel())) return false;
+  std::vector<std::uint8_t> ok(streams_.size(), 0);
+  parallel_for(static_cast<std::int64_t>(streams_.size()), num_threads,
+               [&](std::int64_t begin, std::int64_t end) {
+                 for (std::int64_t b = begin; b < end; ++b) {
+                   const auto i = static_cast<std::size_t>(b);
+                   const auto& stream = streams_[i];
+                   const bnn::PackedKernel decoded =
+                       compress::decompress_kernel(stream.compressed,
+                                                   stream.codec);
+                   ok[i] = decoded == model_.block(i).conv3x3().kernel();
+                 }
+               });
+  for (std::uint8_t flag : ok) {
+    if (!flag) return false;
   }
   return true;
 }

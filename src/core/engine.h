@@ -27,26 +27,46 @@ struct EngineOptions {
 };
 
 /// End-to-end facade over the model, the codec and the timing model.
+///
+/// Threading model: every method taking a `num_threads` parameter fans
+/// independent work units (images, blocks, streams, output channels)
+/// out over the shared util/thread_pool.h pool with a fixed partition
+/// and no cross-unit accumulation, so results are guaranteed
+/// bit-identical to the serial path at every thread count (enforced by
+/// tests/test_parallel_determinism.cpp). num_threads caps the fan-out;
+/// it does not have to match the machine's core count.
 class Engine {
  public:
   explicit Engine(
       const bnn::ReActNetConfig& model_config = bnn::paper_reactnet_config(),
       const EngineOptions& options = {});
 
-  /// Compress every 3x3 binary kernel. When clustering is enabled the
-  /// clustered kernels are installed into the model (that is what the
-  /// deployed network evaluates). Idempotent.
-  const compress::ModelReport& compress();
+  /// Compress every 3x3 binary kernel, fanning per-block analysis and
+  /// stream emission out over `num_threads`. When clustering is enabled
+  /// the clustered kernels are installed into the model (that is what
+  /// the deployed network evaluates). Idempotent.
+  const compress::ModelReport& compress(int num_threads = 1);
 
   bool is_compressed() const { return compressed_; }
 
   /// Classify one image (input_channels x input_size x input_size);
-  /// returns class scores. Uses the installed kernels.
-  Tensor classify(const Tensor& image) const;
+  /// returns class scores. Uses the installed kernels. `num_threads`
+  /// parallelizes the per-output-channel loop inside each binary
+  /// convolution (bnn/bconv.h), cutting single-image latency.
+  Tensor classify(const Tensor& image, int num_threads = 1) const;
+
+  /// Classify a batch of independent images, fanned out across
+  /// `num_threads` workers (one chunk of images per worker; within a
+  /// worker each image runs serially). Returns one score tensor per
+  /// image, in input order, bit-identical to calling classify() on each
+  /// image serially.
+  std::vector<Tensor> classify_batch(const std::vector<Tensor>& images,
+                                     int num_threads = 1) const;
 
   /// Decode every compressed stream and check it reproduces the
-  /// installed kernels bit-exactly. Precondition: compress() was called.
-  bool verify_streams() const;
+  /// installed kernels bit-exactly, one stream per work unit across
+  /// `num_threads`. Precondition: compress() was called.
+  bool verify_streams(int num_threads = 1) const;
 
   /// Simulate the three execution variants on the timing model.
   /// Precondition: compress() was called.

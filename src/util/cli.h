@@ -1,9 +1,14 @@
 #pragma once
 // Minimal command-line helpers for the bench/example binaries. The
 // binaries default to the paper-sized configuration; the CTest smoke
-// runs pass --tiny to exercise the same code paths in milliseconds.
+// runs pass --tiny to exercise the same code paths in milliseconds, and
+// the throughput/inference binaries take --threads N to size the
+// parallel fan-out.
 
+#include <charconv>
 #include <string_view>
+
+#include "util/check.h"
 
 namespace bkc {
 
@@ -13,6 +18,26 @@ inline bool has_flag(int argc, char** argv, std::string_view flag) {
     if (flag == argv[i]) return true;
   }
   return false;
+}
+
+/// Integer value following `flag` (e.g. "--threads 4"); `fallback` when
+/// the flag is absent. Throws CheckError when the flag is present with
+/// a missing or malformed value.
+inline int flag_value(int argc, char** argv, std::string_view flag,
+                      int fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag != argv[i]) continue;
+    check(i + 1 < argc, std::string(flag) + " requires a value");
+    const std::string_view text = argv[i + 1];
+    int value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    check(ec == std::errc() && ptr == text.data() + text.size(),
+          std::string(flag) + ": malformed integer '" + std::string(text) +
+              "'");
+    return value;
+  }
+  return fallback;
 }
 
 }  // namespace bkc

@@ -1,0 +1,130 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bkc {
+
+namespace {
+
+// Flag marking threads that are executing a pool task; parallel_for
+// consults it to run nested parallel regions inline.
+thread_local bool t_on_worker = false;
+
+// Thread count for parameterless parallel regions (see
+// current_num_threads() in the header).
+thread_local int t_num_threads = 1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) : num_workers_(num_workers) {
+  check(num_workers >= 1, "ThreadPool: num_workers must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop(int worker) {
+  t_on_worker = true;
+  std::uint64_t seen_generation = 0;
+  const int stride = num_workers();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+    }
+    // Static cyclic slice: worker w owns tasks w, w+W, w+2W, ...
+    // Independent of timing, so the task -> worker mapping is fixed.
+    for (int t = worker; t < num_tasks_; t += stride) {
+      try {
+        (*task_)(t);
+      } catch (...) {
+        errors_[static_cast<std::size_t>(t)] = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(int num_tasks, const std::function<void(int)>& task) {
+  check(num_tasks >= 0, "ThreadPool::run: num_tasks must be >= 0");
+  check(!t_on_worker,
+        "ThreadPool::run: re-entrant call from a worker thread");
+  if (num_tasks == 0) return;
+  // Concurrent callers (e.g. two user threads both inside
+  // classify_batch) take turns on the pool; workers never call run(),
+  // so this cannot deadlock.
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  num_tasks_ = num_tasks;
+  task_ = &task;
+  errors_.assign(static_cast<std::size_t>(num_tasks), nullptr);
+  active_workers_ = num_workers();
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  task_ = nullptr;
+  // Deterministic propagation: the lowest-numbered failing task wins,
+  // independent of execution timing.
+  for (std::exception_ptr& error : errors_) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(std::max(
+      2, static_cast<int>(std::thread::hardware_concurrency())));
+  return pool;
+}
+
+void parallel_for(
+    std::int64_t total, int num_threads,
+    const std::function<void(std::int64_t begin, std::int64_t end)>& chunk) {
+  check(num_threads >= 1, "parallel_for: num_threads must be >= 1");
+  if (total <= 0) return;
+  const int chunks =
+      static_cast<int>(std::min<std::int64_t>(num_threads, total));
+  if (chunks <= 1 || ThreadPool::on_worker_thread()) {
+    chunk(0, total);
+    return;
+  }
+  ThreadPool::shared().run(chunks, [&](int c) {
+    // Near-equal contiguous chunks; boundaries depend only on
+    // (total, chunks), which is what makes the partition deterministic.
+    const std::int64_t begin = total * c / chunks;
+    const std::int64_t end = total * (c + 1) / chunks;
+    chunk(begin, end);
+  });
+}
+
+int current_num_threads() { return t_num_threads; }
+
+ScopedNumThreads::ScopedNumThreads(int num_threads)
+    : previous_(t_num_threads) {
+  check(num_threads >= 1, "ScopedNumThreads: num_threads must be >= 1");
+  t_num_threads = num_threads;
+}
+
+ScopedNumThreads::~ScopedNumThreads() { t_num_threads = previous_; }
+
+}  // namespace bkc

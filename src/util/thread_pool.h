@@ -1,0 +1,115 @@
+#pragma once
+// Deterministic multi-core execution: a fixed-size worker pool plus the
+// parallel_for helper every parallel hot path in bkc goes through.
+//
+// Design rules (the determinism guarantee the test suite enforces):
+//   * No work stealing. parallel_for splits [0, total) into `num_threads`
+//     contiguous chunks whose boundaries are a pure function of
+//     (total, num_threads) - never of timing, core count or pool size.
+//   * No cross-chunk accumulation inside parallel regions. Callers write
+//     results into disjoint, preallocated slots and reduce serially in
+//     index order afterwards, so outputs are bit-identical to the serial
+//     path at every thread count.
+//   * Nested parallel regions run inline on the calling worker (no
+//     oversubscription, no pool re-entry deadlock).
+//
+// The pool itself is only an executor: which worker runs which chunk
+// never influences results, because chunks touch disjoint state.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bkc {
+
+/// Fixed-size pool of worker threads with a static cyclic task
+/// assignment (task t runs on worker t % num_workers) - work-stealing
+/// free by construction.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` (>= 1) threads that sleep until run() is
+  /// called.
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  /// Execute task(0) .. task(num_tasks - 1), each exactly once, and
+  /// block until all have finished. Tasks are assigned statically
+  /// (task t -> worker t % num_workers). If any task threw, the
+  /// exception of the lowest-numbered failing task is rethrown - again
+  /// a deterministic choice. Safe to call from multiple threads:
+  /// concurrent calls serialize on the pool. Not re-entrant: run()
+  /// must not be called from inside a task (parallel_for handles
+  /// nesting by running inline instead).
+  void run(int num_tasks, const std::function<void(int)>& task);
+
+  /// True on threads currently executing a ThreadPool task.
+  static bool on_worker_thread();
+
+  /// The process-wide pool shared by every parallel_for call site,
+  /// sized to the hardware concurrency (at least 2 so the parallel
+  /// code paths are genuinely exercised even on single-core hosts).
+  /// Created on first use; never destroyed before exit.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop(int worker);
+
+  // Fixed before any thread spawns: worker threads read it while the
+  // constructor is still appending to workers_, so it must not be
+  // derived from workers_.size().
+  int num_workers_ = 0;
+  std::vector<std::thread> workers_;
+  std::mutex run_mutex_;  ///< serializes concurrent run() callers
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  ///< bumped once per run() call
+  int num_tasks_ = 0;
+  int active_workers_ = 0;
+  const std::function<void(int)>* task_ = nullptr;
+  std::vector<std::exception_ptr> errors_;  ///< one slot per task
+  bool stopping_ = false;
+};
+
+/// Split [0, total) into min(num_threads, total) contiguous chunks of
+/// near-equal size (boundaries fixed by (total, num_threads) alone) and
+/// invoke chunk(begin, end) for each, using the shared pool. With
+/// num_threads <= 1, or when already on a pool worker (nested
+/// parallelism), the whole range executes inline on the caller as the
+/// single chunk (0, total) - callers must therefore not key work off
+/// the chunk boundaries themselves, only off the indices inside them.
+/// Precondition: num_threads >= 1.
+void parallel_for(
+    std::int64_t total, int num_threads,
+    const std::function<void(std::int64_t begin, std::int64_t end)>& chunk);
+
+/// Thread count consulted by parallel regions buried inside library
+/// internals that take no thread-count parameter of their own (today:
+/// the per-output-channel loop of bnn::binary_conv2d). Defaults to 1;
+/// Engine::classify installs the caller's request for the duration of
+/// the call. Thread-local, so concurrent callers never see each other's
+/// setting.
+int current_num_threads();
+
+/// RAII override of current_num_threads() on this thread.
+class ScopedNumThreads {
+ public:
+  /// Precondition: num_threads >= 1.
+  explicit ScopedNumThreads(int num_threads);
+  ~ScopedNumThreads();
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int previous_;
+};
+
+}  // namespace bkc

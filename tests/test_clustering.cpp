@@ -162,5 +162,88 @@ TEST(Clustering, RemapIdOutOfRangeThrows) {
   EXPECT_THROW(identity.remap(600), bkc::CheckError);
 }
 
+// ---- Edge cases: degenerate set sizes, single elements, ties ----
+
+TEST(Clustering, ZeroSizedCommonSetKeepsEverything) {
+  // M = 0: there is no common set to substitute into, so every rare
+  // sequence stays, whatever N says.
+  FrequencyTable t;
+  t.add(0b000000000, 100);
+  t.add(0b000000001, 1);
+  const auto result =
+      cluster_sequences(t, {.most_common = 0, .least_common = 2});
+  EXPECT_TRUE(result.replacements().empty());
+  EXPECT_EQ(result.remap(0b000000001), 0b000000001);
+}
+
+TEST(Clustering, ZeroSizedRareSetIsIdentity) {
+  // N = 0: nothing is eligible for removal.
+  FrequencyTable t;
+  t.add(0b000000000, 100);
+  t.add(0b000000001, 1);
+  const auto result =
+      cluster_sequences(t, {.most_common = 2, .least_common = 0});
+  EXPECT_TRUE(result.replacements().empty());
+}
+
+TEST(Clustering, SingleDistinctSequenceIsIdentity) {
+  // One occurring sequence lands in st; su is empty by the
+  // no-overlap rule even with huge N.
+  FrequencyTable t;
+  t.add(42, 1000);
+  const auto result =
+      cluster_sequences(t, {.most_common = 64, .least_common = 352});
+  EXPECT_TRUE(result.replacements().empty());
+  EXPECT_EQ(result.remap(42), 42);
+  EXPECT_EQ(result.total_occurrences(), 1000u);
+}
+
+TEST(Clustering, TiedCandidateFrequenciesPickLowestId) {
+  // Sequences 0 (000000000) and 3 (000000011) are both distance 1 from
+  // rare sequence 1 (000000001) and tie in frequency. The ranking is
+  // deterministic (ties by ascending id), and "strictly greater count"
+  // keeps the first-ranked candidate: sequence 0 wins, every run.
+  FrequencyTable t;
+  t.add(0, 50);
+  t.add(3, 50);
+  t.add(1, 1);
+  const auto result =
+      cluster_sequences(t, {.most_common = 2, .least_common = 1});
+  ASSERT_EQ(result.replacements().size(), 1u);
+  EXPECT_EQ(result.remap(1), 0);
+}
+
+TEST(Clustering, TiedRareSequencesAreAllEligible) {
+  // Three rare sequences with identical counts: the rare set takes the
+  // deterministic tail of the ranking, and each finds its distance-1
+  // common target independently.
+  FrequencyTable t;
+  t.add(0b000000000, 100);
+  t.add(0b000000001, 1);
+  t.add(0b000000010, 1);
+  t.add(0b000000100, 1);
+  const auto result =
+      cluster_sequences(t, {.most_common = 1, .least_common = 3});
+  EXPECT_EQ(result.replacements().size(), 3u);
+  EXPECT_EQ(result.remap(0b000000001), 0b000000000);
+  EXPECT_EQ(result.remap(0b000000010), 0b000000000);
+  EXPECT_EQ(result.remap(0b000000100), 0b000000000);
+  EXPECT_EQ(result.replaced_occurrences(), 3u);
+}
+
+TEST(Clustering, ApplyOnEmptyTableYieldsEmptyTable) {
+  const ClusteringResult identity;
+  FrequencyTable empty;
+  const auto applied = identity.apply(empty);
+  EXPECT_EQ(applied.total(), 0u);
+  EXPECT_EQ(applied.distinct(), 0u);
+}
+
+TEST(Clustering, ApplyToEmptySequenceListIsEmpty) {
+  const ClusteringResult identity;
+  const std::vector<SeqId> empty;
+  EXPECT_TRUE(identity.apply(std::span<const SeqId>(empty)).empty());
+}
+
 }  // namespace
 }  // namespace bkc::compress

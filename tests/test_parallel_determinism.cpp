@@ -1,0 +1,184 @@
+// The determinism guarantee of the parallel execution layer: every
+// parallel entry point (Engine::classify / classify_batch /
+// verify_streams / compress, ModelCompressor::analyze / compress_blocks)
+// must produce results bit-identical to the serial path at every thread
+// count, with and without the clustering pass.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "bnn/weights.h"
+#include "compress/pipeline.h"
+#include "core/engine.h"
+#include "support/support.h"
+
+namespace bkc {
+namespace {
+
+// The tested fan-outs: serial, even splits, more threads than blocks on
+// the tiny model, and an odd count that exercises uneven partitions.
+const int kThreadCounts[] = {1, 2, 4, 7};
+
+std::vector<Tensor> test_images(const bnn::ReActNet& model, int count,
+                                std::uint64_t seed) {
+  bnn::WeightGenerator gen(seed);
+  std::vector<Tensor> images;
+  images.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    images.push_back(gen.sample_activation(model.input_shape()));
+  }
+  return images;
+}
+
+// Bit-identical, not approximately-equal: the whole point of the fixed
+// partitioning is that no float may differ by even one ulp.
+void expect_bit_identical(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.data().size(), b.data().size());
+  ASSERT_EQ(a.data().size_bytes(), b.data().size_bytes());
+  EXPECT_EQ(
+      std::memcmp(a.data().data(), b.data().data(), a.data().size_bytes()),
+      0);
+}
+
+void expect_block_reports_equal(const compress::BlockReport& a,
+                                const compress::BlockReport& b) {
+  EXPECT_EQ(a.block_name, b.block_name);
+  EXPECT_EQ(a.num_sequences, b.num_sequences);
+  EXPECT_EQ(a.distinct_sequences, b.distinct_sequences);
+  EXPECT_EQ(a.top16_share, b.top16_share);
+  EXPECT_EQ(a.top64_share, b.top64_share);
+  EXPECT_EQ(a.top256_share, b.top256_share);
+  EXPECT_EQ(a.entropy_bits, b.entropy_bits);
+  EXPECT_EQ(a.uncompressed_bits, b.uncompressed_bits);
+  EXPECT_EQ(a.encoding_bits, b.encoding_bits);
+  EXPECT_EQ(a.clustering_bits, b.clustering_bits);
+  EXPECT_EQ(a.encoding_ratio, b.encoding_ratio);
+  EXPECT_EQ(a.clustering_ratio, b.clustering_ratio);
+  EXPECT_EQ(a.huffman_ratio, b.huffman_ratio);
+  EXPECT_EQ(a.node_shares_encoding, b.node_shares_encoding);
+  EXPECT_EQ(a.node_shares_clustering, b.node_shares_clustering);
+  EXPECT_EQ(a.flipped_bit_fraction, b.flipped_bit_fraction);
+  EXPECT_EQ(a.replaced_sequences, b.replaced_sequences);
+  EXPECT_EQ(a.decode_table_bits, b.decode_table_bits);
+}
+
+void expect_model_reports_equal(const compress::ModelReport& a,
+                                const compress::ModelReport& b) {
+  ASSERT_EQ(a.blocks.size(), b.blocks.size());
+  for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+    expect_block_reports_equal(a.blocks[i], b.blocks[i]);
+  }
+  EXPECT_EQ(a.model_bits, b.model_bits);
+  EXPECT_EQ(a.conv3x3_bits, b.conv3x3_bits);
+  EXPECT_EQ(a.conv3x3_encoding_bits, b.conv3x3_encoding_bits);
+  EXPECT_EQ(a.conv3x3_clustering_bits, b.conv3x3_clustering_bits);
+  EXPECT_EQ(a.decode_table_bits, b.decode_table_bits);
+  EXPECT_EQ(a.mean_encoding_ratio, b.mean_encoding_ratio);
+  EXPECT_EQ(a.mean_clustering_ratio, b.mean_clustering_ratio);
+  EXPECT_EQ(a.model_ratio, b.model_ratio);
+  EXPECT_EQ(a.model_ratio_with_tables, b.model_ratio_with_tables);
+}
+
+EngineOptions options_for(bool clustering) {
+  return clustering ? EngineOptions{} : test::no_clustering();
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ParallelDeterminism, ClassifyBatchMatchesSerialClassify) {
+  Engine engine(test::tiny_config(21), options_for(GetParam()));
+  engine.compress();
+  const auto images = test_images(engine.model(), 6, 77);
+
+  std::vector<Tensor> serial;
+  for (const Tensor& image : images) serial.push_back(engine.classify(image));
+
+  for (int threads : kThreadCounts) {
+    const auto batch = engine.classify_batch(images, threads);
+    ASSERT_EQ(batch.size(), serial.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      expect_bit_identical(batch[i], serial[i]);
+    }
+  }
+}
+
+TEST_P(ParallelDeterminism, ParallelConvClassifyMatchesSerial) {
+  Engine engine(test::tiny_config(23), options_for(GetParam()));
+  engine.compress();
+  const auto images = test_images(engine.model(), 2, 78);
+  for (const Tensor& image : images) {
+    const Tensor serial = engine.classify(image, 1);
+    for (int threads : kThreadCounts) {
+      expect_bit_identical(engine.classify(image, threads), serial);
+    }
+  }
+}
+
+TEST_P(ParallelDeterminism, AnalyzeMatchesSerial) {
+  const EngineOptions options = options_for(GetParam());
+  const bnn::ReActNet model(test::tiny_config(25));
+  const compress::ModelCompressor compressor(options.tree,
+                                             options.clustering_config);
+  const auto serial = compressor.analyze(model, 1);
+  for (int threads : kThreadCounts) {
+    expect_model_reports_equal(compressor.analyze(model, threads), serial);
+  }
+}
+
+TEST_P(ParallelDeterminism, CompressBlocksMatchesSerial) {
+  const bool clustering = GetParam();
+  const EngineOptions options = options_for(clustering);
+  const bnn::ReActNet model(test::tiny_config(27));
+  const compress::ModelCompressor compressor(options.tree,
+                                             options.clustering_config);
+  const auto serial = compressor.compress_blocks(model, clustering, 1);
+  for (int threads : kThreadCounts) {
+    const auto parallel = compressor.compress_blocks(model, clustering,
+                                                     threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t b = 0; b < parallel.size(); ++b) {
+      EXPECT_EQ(parallel[b].compressed.stream, serial[b].compressed.stream);
+      EXPECT_EQ(parallel[b].compressed.stream_bits,
+                serial[b].compressed.stream_bits);
+      EXPECT_TRUE(parallel[b].coded_kernel == serial[b].coded_kernel);
+    }
+  }
+}
+
+TEST_P(ParallelDeterminism, EngineCompressMatchesSerial) {
+  const bool clustering = GetParam();
+  Engine serial(test::tiny_config(29), options_for(clustering));
+  const auto& serial_report = serial.compress(1);
+  for (int threads : kThreadCounts) {
+    Engine parallel(test::tiny_config(29), options_for(clustering));
+    expect_model_reports_equal(parallel.compress(threads), serial_report);
+    // The installed (possibly clustered) kernels and the emitted streams
+    // must match too, not just the report.
+    ASSERT_EQ(parallel.block_streams().size(), serial.block_streams().size());
+    for (std::size_t b = 0; b < serial.block_streams().size(); ++b) {
+      EXPECT_TRUE(parallel.model().block(b).conv3x3().kernel() ==
+                  serial.model().block(b).conv3x3().kernel());
+      EXPECT_EQ(parallel.block_streams()[b].compressed.stream,
+                serial.block_streams()[b].compressed.stream);
+    }
+  }
+}
+
+TEST_P(ParallelDeterminism, VerifyStreamsPassesAtEveryThreadCount) {
+  Engine engine(test::tiny_config(31), options_for(GetParam()));
+  engine.compress();
+  for (int threads : kThreadCounts) {
+    EXPECT_TRUE(engine.verify_streams(threads));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusteringOnOff, ParallelDeterminism,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "clustering" : "encoding_only";
+                         });
+
+}  // namespace
+}  // namespace bkc

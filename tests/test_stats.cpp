@@ -93,6 +93,87 @@ TEST(RunningStats, MatchesBatchComputation) {
 TEST(RunningStats, EmptyThrows) {
   RunningStats rs;
   EXPECT_THROW(rs.mean(), CheckError);
+  EXPECT_THROW(rs.variance(), CheckError);
+  EXPECT_THROW(rs.min(), CheckError);
+  EXPECT_THROW(rs.max(), CheckError);
+}
+
+// ---- Edge cases: single element, ties, degenerate histograms ----
+
+TEST(Stats, SingleElementIsItsOwnStatistic) {
+  const std::vector<double> v{3.5};
+  EXPECT_DOUBLE_EQ(mean(v), 3.5);
+  EXPECT_DOUBLE_EQ(stddev(v), 0.0);
+  EXPECT_DOUBLE_EQ(geomean(v), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 3.5);
+  EXPECT_DOUBLE_EQ(top_k_share(v, 1), 1.0);
+}
+
+TEST(Stats, PercentileRejectsOutOfRangeP) {
+  const std::vector<double> v{1, 2};
+  EXPECT_THROW(percentile(v, -0.5), CheckError);
+  EXPECT_THROW(percentile(v, 100.5), CheckError);
+}
+
+TEST(Stats, PercentileOfAllEqualValues) {
+  const std::vector<double> v{7, 7, 7, 7, 7};
+  for (double p : {0.0, 12.5, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile(v, p), 7.0);
+  }
+}
+
+TEST(Stats, EntropyRejectsDegenerateHistograms) {
+  const std::vector<double> all_zero(8, 0.0);
+  EXPECT_THROW(entropy_bits(all_zero), CheckError);
+  const std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW(entropy_bits(negative), CheckError);
+  const std::vector<double> empty;
+  EXPECT_THROW(entropy_bits(empty), CheckError);
+}
+
+TEST(Stats, NormalizedRejectsDegenerateHistograms) {
+  const std::vector<double> all_zero(4, 0.0);
+  EXPECT_THROW(normalized(all_zero), CheckError);
+  const std::vector<double> negative{2.0, -1.0};
+  EXPECT_THROW(normalized(negative), CheckError);
+}
+
+TEST(Stats, TopKShareZeroKIsZero) {
+  const std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(top_k_share(v, 0), 0.0);
+}
+
+TEST(Stats, TopKShareRejectsZeroSum) {
+  const std::vector<double> zeros(3, 0.0);
+  EXPECT_THROW(top_k_share(zeros, 1), CheckError);
+}
+
+TEST(Stats, TopKShareWithTiesUsesStableRanking) {
+  // Two values tie for second place; top-2 must take the earlier one,
+  // and either choice gives the same share (the metric is well defined
+  // under ties because tied values are interchangeable).
+  const std::vector<double> v{5, 2, 2, 1};
+  EXPECT_DOUBLE_EQ(top_k_share(v, 2), 0.7);
+}
+
+TEST(Stats, RankDescendingEmptyAndAllEqual) {
+  const std::vector<double> empty;
+  EXPECT_TRUE(rank_descending(empty).empty());
+  const std::vector<double> equal(4, 1.0);
+  const auto order = rank_descending(equal);
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats rs;
+  rs.add(-2.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), -2.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), -2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), -2.0);
 }
 
 }  // namespace
