@@ -1,0 +1,176 @@
+// Offline compression throughput: blocks/sec vs thread count.
+//
+// Measures ModelCompressor::compress_model — the single pass that
+// produces the report and both stream artifacts per block — for a range
+// of thread counts (1, 2, 4, ... up to --threads). Before timing, the
+// parallel pass is checked bit-identical against the serial one (the
+// determinism guarantee). A final comparison re-times the PRE-REFACTOR
+// two-pass layout, reconstructed from the public primitives (a
+// report-only pass that emits no streams, then a stream pass that
+// re-runs frequency counting and clustering per block — exactly what
+// Engine::compress ran via analyze() + compress_blocks() before the
+// refactor), against the unified pass, pinning the wall-clock win of
+// deriving the report from the stream artifacts.
+//
+//   ./bench/compress_throughput [--tiny] [--threads N] [--repeats N]
+//
+// Defaults: paper-width channels, threads up to 4, best of 3 repeats.
+// --tiny switches to the reduced test model for the CTest smoke run.
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "core/bkc.h"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start) {
+  return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+/// The pre-refactor per-block REPORT pass (the old
+/// ModelCompressor::analyze_block): every report statistic, but no
+/// stream emission and no kernel remap. Returns a checksum so the
+/// optimizer cannot elide the work.
+std::uint64_t legacy_report_pass(const bkc::bnn::ReActNet& model,
+                                 const bkc::compress::GroupedTreeConfig& tree,
+                                 const bkc::compress::ClusteringConfig& cfg) {
+  namespace compress = bkc::compress;
+  std::uint64_t checksum = 0;
+  double share_sink = 0.0;
+  for (std::size_t b = 0; b < model.num_blocks(); ++b) {
+    const auto& kernel = model.block(b).conv3x3().kernel();
+    const auto table = compress::FrequencyTable::from_kernel(kernel);
+    share_sink += table.top_k_share(16) + table.top_k_share(64) +
+                  table.top_k_share(256) + table.entropy_bits();
+    const compress::GroupedHuffmanCodec plain(table, tree);
+    checksum += plain.encoded_bits(table);
+    for (int n = 0; n < tree.num_nodes(); ++n) {
+      share_sink += plain.node_share(n, table);
+    }
+    const auto clustering = compress::cluster_sequences(table, cfg);
+    const auto clustered = clustering.apply(table);
+    const compress::GroupedHuffmanCodec codec(clustered, tree);
+    checksum += codec.encoded_bits(clustered) + codec.table_bits();
+    for (int n = 0; n < tree.num_nodes(); ++n) {
+      share_sink += codec.node_share(n, clustered);
+    }
+    share_sink += compress::HuffmanCodec::build(clustered)
+                      .compression_ratio(clustered);
+  }
+  return checksum + static_cast<std::uint64_t>(share_sink);
+}
+
+/// The pre-refactor per-block STREAM pass (the old compress_blocks):
+/// one compress_kernel_pipeline per block, which re-runs frequency
+/// counting and the clustering search on the same inputs.
+std::uint64_t legacy_stream_pass(const bkc::bnn::ReActNet& model,
+                                 const bkc::compress::GroupedTreeConfig& tree,
+                                 const bkc::compress::ClusteringConfig& cfg) {
+  std::uint64_t checksum = 0;
+  for (std::size_t b = 0; b < model.num_blocks(); ++b) {
+    const auto artifact = bkc::compress::compress_kernel_pipeline(
+        model.block(b).conv3x3().kernel(), /*apply_clustering=*/true, tree,
+        cfg);
+    checksum += artifact.compressed.stream_bits;
+  }
+  return checksum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bkc;
+
+  const bool tiny = has_flag(argc, argv, "--tiny");
+  const int max_threads = positive_flag_value(argc, argv, "--threads", 4);
+  const int repeats = positive_flag_value(argc, argv, "--repeats", 3);
+
+  const bnn::ReActNetConfig config =
+      tiny ? bnn::tiny_reactnet_config(/*seed=*/42)
+           : bnn::paper_reactnet_config(/*seed=*/42);
+  const bnn::ReActNet model(config);
+  const compress::ModelCompressor compressor;
+  const auto num_blocks = static_cast<double>(model.num_blocks());
+  std::cout << "Model: " << model.num_blocks()
+            << " blocks, kernels up to "
+            << model.block(model.num_blocks() - 1).config().in_channels
+            << " channels\n\n";
+
+  // Correctness gate: the parallel pass must be bit-identical to the
+  // serial one before its timing means anything.
+  const compress::CompressedModel serial = compressor.compress_model(model, 1);
+  const compress::CompressedModel parallel =
+      compressor.compress_model(model, max_threads);
+  check(serial.blocks.size() == parallel.blocks.size(),
+        "compress_throughput: block count diverged");
+  for (std::size_t b = 0; b < serial.blocks.size(); ++b) {
+    const auto& s = serial.blocks[b];
+    const auto& p = parallel.blocks[b];
+    check(s.encoding.compressed.stream == p.encoding.compressed.stream &&
+              s.clustered.compressed.stream == p.clustered.compressed.stream &&
+              s.clustered.coded_kernel == p.clustered.coded_kernel,
+          "compress_throughput: parallel streams diverged from serial");
+    check(s.report.encoding_ratio == p.report.encoding_ratio &&
+              s.report.clustering_ratio == p.report.clustering_ratio &&
+              s.report.entropy_bits == p.report.entropy_bits,
+          "compress_throughput: parallel report diverged from serial");
+  }
+  check(serial.report.model_ratio == parallel.report.model_ratio,
+        "compress_throughput: model ratio diverged from serial");
+  std::cout << "Parallel pass bit-identical to serial: yes\n\n";
+
+  std::vector<int> thread_counts;
+  for (int t = 1; t < max_threads; t *= 2) thread_counts.push_back(t);
+  thread_counts.push_back(max_threads);
+
+  const auto best_of = [&](auto&& work) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < repeats; ++r) {
+      const auto start = clock_type::now();
+      work();
+      best = std::min(best, seconds_since(start));
+    }
+    return best;
+  };
+
+  Table table({"threads", "seconds", "blocks/sec", "speedup"});
+  double base_seconds = 0.0;
+  for (int threads : thread_counts) {
+    const double seconds =
+        best_of([&] { compressor.compress_model(model, threads); });
+    if (threads == 1) base_seconds = seconds;
+    table.row()
+        .add(threads)
+        .add(seconds, 4)
+        .add(num_blocks / seconds, 1)
+        .add(base_seconds > 0.0 ? ratio_str(base_seconds / seconds)
+                                : std::string("-"));
+  }
+  table.print("compress_model throughput (best of " +
+              std::to_string(repeats) + ")");
+
+  // The headline of the refactor: one unified pass vs the true
+  // pre-refactor layout (report-only pass, then a stream pass that
+  // repeats frequency counting and clustering per block). Both run
+  // serially so the comparison is pass structure, not fan-out.
+  std::uint64_t sink = 0;
+  const double two_pass = best_of([&] {
+    sink += legacy_report_pass(model, compressor.tree(),
+                               compressor.clustering());
+    sink += legacy_stream_pass(model, compressor.tree(),
+                               compressor.clustering());
+  });
+  check(sink > 0, "compress_throughput: legacy passes produced no bits");
+  std::cout << "\nEngine::compress cost, serial: single-pass "
+            << base_seconds << " s, pre-refactor two-pass " << two_pass
+            << " s (" << ratio_str(two_pass / base_seconds)
+            << " — the duplicated per-block work the unified pass "
+               "removes)\n";
+  return 0;
+}

@@ -25,10 +25,8 @@ int main(int argc, char** argv) {
   using clock = std::chrono::steady_clock;
 
   const bool tiny = has_flag(argc, argv, "--tiny");
-  const int max_threads = flag_value(argc, argv, "--threads", 4);
-  const int num_images = flag_value(argc, argv, "--images", 8);
-  check(max_threads >= 1, "throughput: --threads must be >= 1");
-  check(num_images >= 1, "throughput: --images must be >= 1");
+  const int max_threads = positive_flag_value(argc, argv, "--threads", 4);
+  const int num_images = positive_flag_value(argc, argv, "--images", 8);
 
   bnn::ReActNetConfig config = tiny ? bnn::tiny_reactnet_config(/*seed=*/42)
                                     : bnn::paper_reactnet_config(/*seed=*/42);

@@ -26,8 +26,8 @@ int main(int argc, char** argv) {
   // flag (so `reactnet_inference --tiny` still measures 3 images).
   const int num_images =
       argc > 1 && argv[1][0] != '-' ? std::atoi(argv[1]) : 3;
-  const int num_threads = flag_value(argc, argv, "--threads", 2);
-  check(num_threads >= 1, "reactnet_inference: --threads must be >= 1");
+  check(num_images >= 1, "reactnet_inference: num_images must be >= 1");
+  const int num_threads = positive_flag_value(argc, argv, "--threads", 2);
 
   // Reduced spatial size keeps the example responsive while preserving
   // every channel count (the statistics that matter are per-channel).

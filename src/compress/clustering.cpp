@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bnn/kernel_sequences.h"
+#include "compress/instrumentation.h"
 #include "util/check.h"
 
 namespace bkc::compress {
@@ -51,6 +52,7 @@ bnn::PackedKernel ClusteringResult::apply(
 
 ClusteringResult cluster_sequences(const FrequencyTable& table,
                                    const ClusteringConfig& config) {
+  internal::count_cluster_sequences();
   check(config.max_distance >= 1 && config.max_distance <= bnn::kSeqBits,
         "ClusteringConfig: max_distance must be in [1, 9]");
   ClusteringResult result;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "bnn/kernel_sequences.h"
+#include "compress/instrumentation.h"
 #include "util/check.h"
 #include "util/stats.h"
 
@@ -11,6 +12,7 @@ namespace bkc::compress {
 
 FrequencyTable FrequencyTable::from_sequences(
     std::span<const SeqId> sequences) {
+  internal::count_frequency_count();
   FrequencyTable table;
   for (SeqId s : sequences) table.add(s);
   return table;

@@ -1,5 +1,6 @@
 #include "compress/grouped_huffman.h"
 
+#include "compress/instrumentation.h"
 #include "util/check.h"
 
 namespace bkc::compress {
@@ -45,6 +46,7 @@ GroupedTreeConfig GroupedTreeConfig::fixed9() {
 GroupedHuffmanCodec::GroupedHuffmanCodec(const FrequencyTable& table,
                                          GroupedTreeConfig config)
     : config_(std::move(config)) {
+  internal::count_grouped_codec_build();
   config_.validate();
   node_.fill(-1);
   tables_.resize(static_cast<std::size_t>(config_.num_nodes()));

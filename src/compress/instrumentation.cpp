@@ -1,0 +1,47 @@
+#include "compress/instrumentation.h"
+
+#include <atomic>
+
+namespace bkc::compress {
+
+namespace {
+std::atomic<std::uint64_t> g_frequency_counts{0};
+std::atomic<std::uint64_t> g_cluster_sequences{0};
+std::atomic<std::uint64_t> g_grouped_codec{0};
+}  // namespace
+
+PipelineCounters PipelineCounters::delta_since(
+    const PipelineCounters& earlier) const {
+  return {.frequency_counts = frequency_counts - earlier.frequency_counts,
+          .cluster_sequences_calls =
+              cluster_sequences_calls - earlier.cluster_sequences_calls,
+          .grouped_codec_builds =
+              grouped_codec_builds - earlier.grouped_codec_builds};
+}
+
+PipelineCounters pipeline_counters() {
+  return {.frequency_counts =
+              g_frequency_counts.load(std::memory_order_relaxed),
+          .cluster_sequences_calls =
+              g_cluster_sequences.load(std::memory_order_relaxed),
+          .grouped_codec_builds =
+              g_grouped_codec.load(std::memory_order_relaxed)};
+}
+
+namespace internal {
+
+void count_frequency_count() {
+  g_frequency_counts.fetch_add(1, std::memory_order_relaxed);
+}
+
+void count_cluster_sequences() {
+  g_cluster_sequences.fetch_add(1, std::memory_order_relaxed);
+}
+
+void count_grouped_codec_build() {
+  g_grouped_codec.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+}  // namespace bkc::compress

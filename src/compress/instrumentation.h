@@ -1,0 +1,38 @@
+#pragma once
+// Invocation counters for the offline pipeline primitives.
+//
+// The single-pass contract of ModelCompressor::compress_model — exactly
+// one frequency count, one clustering search and one codec build per
+// distinct input per block — is enforceable only if those invocations
+// are observable. Each primitive bumps a process-wide atomic counter;
+// tests snapshot the counters around a pipeline run and assert on the
+// delta. The counters are monotone (never reset), so concurrent runs
+// cannot corrupt another snapshot's baseline, and the relaxed atomic
+// increments are far too cheap to perturb the measured hot path.
+
+#include <cstdint>
+
+namespace bkc::compress {
+
+/// Monotone snapshot of the pipeline-primitive invocation counts.
+struct PipelineCounters {
+  /// FrequencyTable counting passes (from_sequences; from_kernel
+  /// delegates there, so either entry point counts once).
+  std::uint64_t frequency_counts = 0;
+  std::uint64_t cluster_sequences_calls = 0;  ///< cluster_sequences()
+  std::uint64_t grouped_codec_builds = 0;     ///< GroupedHuffmanCodec(table)
+
+  /// Per-field difference against an earlier snapshot.
+  PipelineCounters delta_since(const PipelineCounters& earlier) const;
+};
+
+/// Current process-wide counts (thread-safe).
+PipelineCounters pipeline_counters();
+
+namespace internal {
+void count_frequency_count();
+void count_cluster_sequences();
+void count_grouped_codec_build();
+}  // namespace internal
+
+}  // namespace bkc::compress

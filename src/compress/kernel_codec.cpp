@@ -14,9 +14,20 @@ double CompressedKernel::ratio() const {
 CompressedKernel compress_kernel(const bnn::PackedKernel& kernel,
                                  const GroupedHuffmanCodec& codec) {
   const auto sequences = bnn::extract_sequences(kernel);
+  return compress_sequences(sequences, kernel.shape().out_channels,
+                            kernel.shape().in_channels, codec);
+}
+
+CompressedKernel compress_sequences(std::span<const SeqId> sequences,
+                                    std::int64_t out_channels,
+                                    std::int64_t in_channels,
+                                    const GroupedHuffmanCodec& codec) {
+  check(sequences.size() ==
+            static_cast<std::size_t>(out_channels * in_channels),
+        "compress_sequences: sequence count does not match the shape");
   CompressedKernel out;
-  out.out_channels = kernel.shape().out_channels;
-  out.in_channels = kernel.shape().in_channels;
+  out.out_channels = out_channels;
+  out.in_channels = in_channels;
   out.stream = codec.encode(sequences, out.stream_bits);
   return out;
 }

@@ -43,6 +43,16 @@ struct CompressedKernel {
 CompressedKernel compress_kernel(const bnn::PackedKernel& kernel,
                                  const GroupedHuffmanCodec& codec);
 
+/// Encode an already-extracted sequence list (out_channels * in_channels
+/// entries in the canonical output-channel-major order). Equivalent to
+/// compress_kernel on the kernel the sequences came from, without
+/// re-extracting them — the single-pass pipeline extracts each kernel's
+/// sequences once and feeds every downstream primitive from that list.
+CompressedKernel compress_sequences(std::span<const SeqId> sequences,
+                                    std::int64_t out_channels,
+                                    std::int64_t in_channels,
+                                    const GroupedHuffmanCodec& codec);
+
 /// Decode back to the channel-packed layout. Inverse of compress_kernel
 /// for any kernel whose sequences all have codewords.
 bnn::PackedKernel decompress_kernel(const CompressedKernel& compressed,

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "bnn/kernel_sequences.h"
 #include "compress/huffman.h"
 #include "util/check.h"
 #include "util/stats.h"
@@ -15,12 +16,16 @@ ModelCompressor::ModelCompressor(GroupedTreeConfig tree,
   tree_.validate();
 }
 
-BlockReport ModelCompressor::analyze_block(
+CompressedBlock ModelCompressor::compress_block(
     const std::string& name, const bnn::PackedKernel& kernel) const {
   BlockReport report;
   report.block_name = name;
 
-  const FrequencyTable table = FrequencyTable::from_kernel(kernel);
+  // The one sequence extraction and one frequency count of the pass;
+  // everything below — clustering, kernel remap, both stream encodes —
+  // feeds off this list instead of re-walking the packed kernel.
+  const std::vector<SeqId> sequences = bnn::extract_sequences(kernel);
+  FrequencyTable table = FrequencyTable::from_sequences(sequences);
   report.num_sequences = table.total();
   report.distinct_sequences = table.distinct();
   report.top16_share = table.top_k_share(16);
@@ -30,52 +35,72 @@ BlockReport ModelCompressor::analyze_block(
   report.uncompressed_bits = table.total() * bnn::kSeqBits;
 
   // Encoding column: grouped tree straight from the observed counts.
-  const GroupedHuffmanCodec plain_codec(table, tree_);
+  GroupedHuffmanCodec plain_codec(table, tree_);
   report.encoding_bits = plain_codec.encoded_bits(table);
   report.encoding_ratio = plain_codec.compression_ratio(table);
   for (int n = 0; n < tree_.num_nodes(); ++n) {
     report.node_shares_encoding.push_back(plain_codec.node_share(n, table));
   }
 
-  // Clustering column: remove rare sequences first.
-  const ClusteringResult clustering = cluster_sequences(table, clustering_);
-  const FrequencyTable clustered = clustering.apply(table);
-  const GroupedHuffmanCodec clustered_codec(clustered, tree_);
-  report.clustering_bits = clustered_codec.encoded_bits(clustered);
-  report.clustering_ratio = clustered_codec.compression_ratio(clustered);
+  // Clustering column: the one clustering search, applied to the
+  // counts (remapping the table is count-identical to re-counting the
+  // remapped sequences), the sequence list and the kernel.
+  ClusteringResult clustering = cluster_sequences(table, clustering_);
+  const std::vector<SeqId> remapped =
+      clustering.apply(std::span<const SeqId>(sequences));
+  bnn::PackedKernel coded_kernel = bnn::kernel_from_sequences(
+      kernel.shape().out_channels, kernel.shape().in_channels, remapped);
+  FrequencyTable clustered_table = clustering.apply(table);
+  GroupedHuffmanCodec clustered_codec(clustered_table, tree_);
+  report.clustering_bits = clustered_codec.encoded_bits(clustered_table);
+  report.clustering_ratio = clustered_codec.compression_ratio(clustered_table);
   for (int n = 0; n < tree_.num_nodes(); ++n) {
     report.node_shares_clustering.push_back(
-        clustered_codec.node_share(n, clustered));
+        clustered_codec.node_share(n, clustered_table));
   }
   report.flipped_bit_fraction = clustering.flipped_bit_fraction();
   report.replaced_sequences = clustering.replacements().size();
   report.decode_table_bits = clustered_codec.table_bits();
 
   // Full-Huffman bound on the clustered alphabet.
-  const HuffmanCodec huffman = HuffmanCodec::build(clustered);
-  report.huffman_ratio = huffman.compression_ratio(clustered);
-  return report;
+  const HuffmanCodec huffman = HuffmanCodec::build(clustered_table);
+  report.huffman_ratio = huffman.compression_ratio(clustered_table);
+
+  // Both stream artifacts, from the codecs and sequence lists already
+  // built (no re-extraction from the packed kernels).
+  CompressedKernel plain_stream =
+      compress_sequences(sequences, kernel.shape().out_channels,
+                         kernel.shape().in_channels, plain_codec);
+  CompressedKernel clustered_stream =
+      compress_sequences(remapped, kernel.shape().out_channels,
+                         kernel.shape().in_channels, clustered_codec);
+
+  return CompressedBlock{
+      .encoding =
+          KernelCompression{
+              .frequencies = table,
+              .clustering = ClusteringResult{},  // identity
+              .coded_frequencies = table,
+              .codec = std::move(plain_codec),
+              .compressed = std::move(plain_stream),
+              .coded_kernel = kernel},
+      .clustered =
+          KernelCompression{
+              .frequencies = std::move(table),
+              .clustering = std::move(clustering),
+              .coded_frequencies = std::move(clustered_table),
+              .codec = std::move(clustered_codec),
+              .compressed = std::move(clustered_stream),
+              .coded_kernel = std::move(coded_kernel)},
+      .report = std::move(report)};
 }
 
-ModelReport ModelCompressor::analyze(const bnn::ReActNet& model,
-                                     int num_threads) const {
-  // Phase 1 (parallel): per-block analysis into disjoint slots. Blocks
-  // are independent by construction, so the fan-out cannot change any
-  // per-block number.
-  std::vector<BlockReport> blocks(model.num_blocks());
-  parallel_for(static_cast<std::int64_t>(model.num_blocks()), num_threads,
-               [&](std::int64_t begin, std::int64_t end) {
-                 for (std::int64_t b = begin; b < end; ++b) {
-                   const auto& block =
-                       model.block(static_cast<std::size_t>(b));
-                   blocks[static_cast<std::size_t>(b)] = analyze_block(
-                       block.name(), block.conv3x3().kernel());
-                 }
-               });
+ModelReport aggregate_block_reports(std::vector<BlockReport> blocks,
+                                    std::uint64_t model_bits) {
+  check(!blocks.empty(), "ModelCompressor: model has no blocks");
 
-  // Phase 2 (serial, in block order): the reduction. Keeping it serial
-  // makes the aggregate sums and means bit-identical to the
-  // single-threaded path.
+  // Serial, in block order: keeping the reduction serial makes the
+  // aggregate sums and means bit-identical to the single-threaded path.
   ModelReport report;
   std::vector<double> encoding_ratios;
   std::vector<double> clustering_ratios;
@@ -88,57 +113,90 @@ ModelReport ModelCompressor::analyze(const bnn::ReActNet& model,
     clustering_ratios.push_back(block_report.clustering_ratio);
     report.blocks.push_back(std::move(block_report));
   }
-  check(!report.blocks.empty(), "ModelCompressor: model has no blocks");
 
   report.mean_encoding_ratio = mean(encoding_ratios);
   report.mean_clustering_ratio = mean(clustering_ratios);
 
-  report.model_bits = model.storage().total_bits;
+  report.model_bits = model_bits;
+  check(report.model_bits >= report.conv3x3_bits,
+        "ModelCompressor: inconsistent storage breakdown: model_bits (" +
+            std::to_string(report.model_bits) + ") < summed 3x3 bits (" +
+            std::to_string(report.conv3x3_bits) + ")");
   const std::uint64_t other_bits = report.model_bits - report.conv3x3_bits;
-  report.model_ratio =
-      static_cast<double>(report.model_bits) /
-      static_cast<double>(other_bits + report.conv3x3_clustering_bits);
+  const std::uint64_t compressed_bits =
+      other_bits + report.conv3x3_clustering_bits;
+  check(compressed_bits > 0,
+        "ModelCompressor: compressed model storage is zero bits");
+  report.model_ratio = static_cast<double>(report.model_bits) /
+                       static_cast<double>(compressed_bits);
   report.model_ratio_with_tables =
       static_cast<double>(report.model_bits) /
-      static_cast<double>(other_bits + report.conv3x3_clustering_bits +
-                          report.decode_table_bits);
+      static_cast<double>(compressed_bits + report.decode_table_bits);
   return report;
+}
+
+CompressedModel ModelCompressor::compress_model(const bnn::ReActNet& model,
+                                                int num_threads) const {
+  // Fail fast, before any fan-out (an empty model would otherwise only
+  // surface in the reduction).
+  check(model.num_blocks() > 0, "ModelCompressor: model has no blocks");
+
+  // Phase 1 (parallel): one pipeline pass per block into disjoint
+  // slots. Blocks are independent by construction, so the fan-out
+  // cannot change any per-block artifact or number. CompressedBlock is
+  // not default-constructible (the codecs require a frequency table),
+  // so the parallel phase fills optional slots.
+  std::vector<std::optional<CompressedBlock>> slots(model.num_blocks());
+  parallel_for(static_cast<std::int64_t>(model.num_blocks()), num_threads,
+               [&](std::int64_t begin, std::int64_t end) {
+                 for (std::int64_t b = begin; b < end; ++b) {
+                   const auto i = static_cast<std::size_t>(b);
+                   const auto& block = model.block(i);
+                   slots[i].emplace(compress_block(
+                       block.name(), block.conv3x3().kernel()));
+                 }
+               });
+
+  // Phase 2 (serial, in block order): unwrap and reduce.
+  CompressedModel out;
+  out.blocks.reserve(model.num_blocks());
+  std::vector<BlockReport> reports;
+  reports.reserve(model.num_blocks());
+  for (std::optional<CompressedBlock>& slot : slots) {
+    reports.push_back(slot->report);
+    out.blocks.push_back(std::move(*slot));
+  }
+  out.report = aggregate_block_reports(std::move(reports),
+                                       model.storage().total_bits);
+  return out;
+}
+
+ModelReport ModelCompressor::analyze(const bnn::ReActNet& model,
+                                     int num_threads) const {
+  return compress_model(model, num_threads).report;
 }
 
 std::vector<KernelCompression> ModelCompressor::compress_blocks(
     const bnn::ReActNet& model, bool apply_clustering,
     int num_threads) const {
-  // KernelCompression is not default-constructible (the codec requires a
-  // frequency table), so the parallel phase fills optional slots and the
-  // serial phase unwraps them in block order.
-  std::vector<std::optional<KernelCompression>> slots(model.num_blocks());
-  parallel_for(static_cast<std::int64_t>(model.num_blocks()), num_threads,
-               [&](std::int64_t begin, std::int64_t end) {
-                 for (std::int64_t b = begin; b < end; ++b) {
-                   const auto i = static_cast<std::size_t>(b);
-                   slots[i].emplace(compress_kernel_pipeline(
-                       model.block(i).conv3x3().kernel(), apply_clustering,
-                       tree_, clustering_));
-                 }
-               });
+  CompressedModel compressed = compress_model(model, num_threads);
   std::vector<KernelCompression> out;
-  out.reserve(model.num_blocks());
-  for (std::optional<KernelCompression>& slot : slots) {
-    out.push_back(std::move(*slot));
+  out.reserve(compressed.blocks.size());
+  for (CompressedBlock& block : compressed.blocks) {
+    out.push_back(std::move(apply_clustering ? block.clustered
+                                             : block.encoding));
   }
   return out;
 }
 
-ModelReport ModelCompressor::compress_and_install(
-    bnn::ReActNet& model) const {
-  ModelReport report = analyze(model);
+ModelReport ModelCompressor::compress_and_install(bnn::ReActNet& model,
+                                                  int num_threads) const {
+  CompressedModel compressed = compress_model(model, num_threads);
   for (std::size_t b = 0; b < model.num_blocks(); ++b) {
-    auto& conv = model.block(b).conv3x3();
-    const FrequencyTable table = FrequencyTable::from_kernel(conv.kernel());
-    const ClusteringResult clustering = cluster_sequences(table, clustering_);
-    conv.set_kernel(clustering.apply(conv.kernel()));
+    model.block(b).conv3x3().set_kernel(
+        std::move(compressed.blocks[b].clustered.coded_kernel));
   }
-  return report;
+  return std::move(compressed.report);
 }
 
 }  // namespace bkc::compress

@@ -1,13 +1,20 @@
 #pragma once
-// Model-level compression pipeline (Sec IV-A):
-//   1. compute the frequency of use of every bit sequence in each basic
+// Model-level compression pipeline (Sec IV-A), organised as ONE pass
+// per basic block:
+//   1. compute the frequency of use of every bit sequence in the
 //      block's 3x3 binary kernel (offline),
-//   2. optionally run the clustering pass (Sec III-C),
-//   3. build the simplified Huffman tree and assign encodings,
-//   4. emit the compressed stream per block.
-// The per-block numbers feed Table II / Table V; the model-level ratio
-// (the paper's 1.2x) weighs the compressed 3x3 convolutions against the
-// unchanged rest of the network using the Table I storage breakdown.
+//   2. run the clustering pass (Sec III-C),
+//   3. build the simplified Huffman trees and assign encodings,
+//   4. emit the compressed stream per block (with and without
+//      clustering),
+//   5. derive every report number from those artifacts.
+// Each primitive — frequency count, clustering search, codec build —
+// runs exactly once per distinct input per block; the report is a pure
+// function of the emitted artifacts, so measured and deployed storage
+// can never drift apart. The per-block numbers feed Table II / Table V;
+// the model-level ratio (the paper's 1.2x) weighs the compressed 3x3
+// convolutions against the unchanged rest of the network using the
+// Table I storage breakdown.
 
 #include <cstdint>
 #include <string>
@@ -18,7 +25,8 @@
 
 namespace bkc::compress {
 
-/// Everything measured about one basic block's 3x3 kernel.
+/// Everything measured about one basic block's 3x3 kernel. Every field
+/// is derived from the block's CompressedBlock artifacts.
 struct BlockReport {
   std::string block_name;
   std::uint64_t num_sequences = 0;     ///< channel count (O*I)
@@ -66,36 +74,77 @@ struct ModelReport {
   double model_ratio_with_tables = 0.0;
 };
 
+/// One basic block's complete pipeline outcome: both stream artifacts
+/// (Table V's two columns) plus the report derived from them. Carrying
+/// both columns costs one extra codec/stream/kernel copy per block at
+/// peak versus a single-artifact layout — accepted so that every
+/// consumer (report, deploy, verify, hwsim) reads from the same pass.
+struct CompressedBlock {
+  KernelCompression encoding;   ///< stream over the original kernel
+  KernelCompression clustered;  ///< stream over the clustered kernel
+  BlockReport report;           ///< derived from the two artifacts
+};
+
+/// Whole-model outcome of the single pass: per-block artifacts plus the
+/// aggregated report (which embeds copies of the per-block reports).
+struct CompressedModel {
+  std::vector<CompressedBlock> blocks;
+  ModelReport report;
+};
+
+/// Serial in-order reduction of per-block reports into a ModelReport.
+/// `model_bits` is the whole-model parameter storage (Table I total).
+/// Fails with CheckError when `blocks` is empty, when the storage
+/// breakdown is inconsistent (model_bits < the summed 3x3 bits — the
+/// unsigned subtraction would otherwise underflow), or when the
+/// compressed-side storage is zero bits (the ratio would be inf).
+/// Exposed so the hardening is testable with fabricated reports.
+ModelReport aggregate_block_reports(std::vector<BlockReport> blocks,
+                                    std::uint64_t model_bits);
+
 /// Drives the pipeline over a ReActNet.
 class ModelCompressor {
  public:
   explicit ModelCompressor(GroupedTreeConfig tree = GroupedTreeConfig::paper(),
                            ClusteringConfig clustering = {});
 
-  /// Measure everything (both Table V columns) without mutating the
-  /// model. Blocks are analyzed independently, fanned out over
+  /// The single pass: build the frequency table, clustering result and
+  /// both codecs exactly once per block, emit both streams, and derive
+  /// every report field from those artifacts. Blocks fan out over
   /// `num_threads` (util/thread_pool.h) with a fixed partition and a
-  /// serial in-order reduction, so the report is bit-identical to the
-  /// serial (num_threads == 1) result at every thread count.
+  /// serial in-order reduction, so the result is bit-identical to the
+  /// serial (num_threads == 1) outcome at every thread count. Does not
+  /// mutate the model. Fails fast on a model with no blocks.
+  CompressedModel compress_model(const bnn::ReActNet& model,
+                                 int num_threads = 1) const;
+
+  /// Measure everything (both Table V columns) without mutating the
+  /// model. Thin view over compress_model(): returns just the report.
+  /// Costs a full pass (streams included) — callers that also need the
+  /// artifacts should call compress_model() once instead; the single
+  /// code path is the point of the design (no report/stream drift).
   ModelReport analyze(const bnn::ReActNet& model, int num_threads = 1) const;
 
   /// Per-block compression artifacts (codec + stream + coded kernel),
-  /// with or without the clustering pass. Per-block work fans out over
-  /// `num_threads`; streams are bit-identical at every thread count.
+  /// with or without the clustering pass. Thin view over
+  /// compress_model(): returns the selected artifact per block (and,
+  /// like analyze(), costs one full pass).
   std::vector<KernelCompression> compress_blocks(const bnn::ReActNet& model,
                                                  bool apply_clustering,
                                                  int num_threads = 1) const;
 
   /// Install the clustered kernels into the model (this is what the
-  /// deployed network evaluates) and return the analysis report.
-  ModelReport compress_and_install(bnn::ReActNet& model) const;
+  /// deployed network evaluates) and return the analysis report — one
+  /// compress_model() pass end to end.
+  ModelReport compress_and_install(bnn::ReActNet& model,
+                                   int num_threads = 1) const;
 
   const GroupedTreeConfig& tree() const { return tree_; }
   const ClusteringConfig& clustering() const { return clustering_; }
 
  private:
-  BlockReport analyze_block(const std::string& name,
-                            const bnn::PackedKernel& kernel) const;
+  CompressedBlock compress_block(const std::string& name,
+                                 const bnn::PackedKernel& kernel) const;
 
   GroupedTreeConfig tree_;
   ClusteringConfig clustering_;

@@ -21,6 +21,7 @@
 #include "compress/frequency.h"
 #include "compress/grouped_huffman.h"
 #include "compress/huffman.h"
+#include "compress/instrumentation.h"
 #include "compress/kernel_codec.h"
 #include "compress/pipeline.h"
 #include "core/engine.h"

@@ -13,13 +13,20 @@ Engine::Engine(const bnn::ReActNetConfig& model_config,
 
 const compress::ModelReport& Engine::compress(int num_threads) {
   if (compressed_) return report_;
-  report_ = compressor_.analyze(model_, num_threads);
-  // One pipeline pass per block produces both the stream and, when
-  // clustering, the kernel to deploy: coded_kernel is exactly what the
-  // stream encodes, so installing it keeps verify_streams() bit-exact
-  // without re-running the clustering search per block.
-  streams_ = compressor_.compress_blocks(model_, options_.clustering,
-                                         num_threads);
+  // One compress_model() pass produces the report, both stream
+  // artifacts and, when clustering, the kernel to deploy: coded_kernel
+  // is exactly what the clustered stream encodes, so installing it
+  // keeps verify_streams() bit-exact without re-running any per-block
+  // primitive.
+  compress::CompressedModel compressed =
+      compressor_.compress_model(model_, num_threads);
+  report_ = std::move(compressed.report);
+  streams_.clear();
+  streams_.reserve(compressed.blocks.size());
+  for (compress::CompressedBlock& block : compressed.blocks) {
+    streams_.push_back(std::move(options_.clustering ? block.clustered
+                                                     : block.encoding));
+  }
   if (options_.clustering) {
     for (std::size_t b = 0; b < model_.num_blocks(); ++b) {
       model_.block(b).conv3x3().set_kernel(streams_[b].coded_kernel);

@@ -41,10 +41,12 @@ class Engine {
       const bnn::ReActNetConfig& model_config = bnn::paper_reactnet_config(),
       const EngineOptions& options = {});
 
-  /// Compress every 3x3 binary kernel, fanning per-block analysis and
-  /// stream emission out over `num_threads`. When clustering is enabled
-  /// the clustered kernels are installed into the model (that is what
-  /// the deployed network evaluates). Idempotent.
+  /// Compress every 3x3 binary kernel: ONE
+  /// ModelCompressor::compress_model pass per call produces the report
+  /// and the stream artifacts together (the report is derived from the
+  /// streams), fanned out over `num_threads` per block. When clustering
+  /// is enabled the clustered kernels are installed into the model
+  /// (that is what the deployed network evaluates). Idempotent.
   const compress::ModelReport& compress(int num_threads = 1);
 
   bool is_compressed() const { return compressed_; }

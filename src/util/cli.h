@@ -40,4 +40,18 @@ inline int flag_value(int argc, char** argv, std::string_view flag,
   return fallback;
 }
 
+/// flag_value for counts that must be >= 1 (thread counts, image
+/// counts, repeat counts): throws CheckError when the resolved value —
+/// whether it came from the command line or from `fallback` — is zero
+/// or negative. parallel_for and friends have a num_threads >= 1
+/// precondition, so validating here turns `--threads 0` into a clear
+/// message instead of a deep internal failure.
+inline int positive_flag_value(int argc, char** argv, std::string_view flag,
+                               int fallback) {
+  const int value = flag_value(argc, argv, flag, fallback);
+  check(value >= 1, std::string(flag) + ": must be >= 1, got " +
+                        std::to_string(value));
+  return value;
+}
+
 }  // namespace bkc

@@ -1,0 +1,88 @@
+// Unit tests for the bench/example CLI helpers, in particular the
+// positive_flag_value hardening: thread/image counts flow straight into
+// parallel_for (precondition num_threads >= 1), so `--threads 0` and
+// negative values must fail with a clear CheckError at the flag parser
+// instead of deep inside the pool.
+
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace bkc {
+namespace {
+
+/// Builds a mutable argv from string literals ("prog" is prepended).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    storage_.insert(storage_.begin(), "prog");
+    for (std::string& arg : storage_) pointers_.push_back(arg.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(Cli, HasFlagDetectsPresence) {
+  Argv args({"--tiny", "--threads", "4"});
+  EXPECT_TRUE(has_flag(args.argc(), args.argv(), "--tiny"));
+  EXPECT_TRUE(has_flag(args.argc(), args.argv(), "--threads"));
+  EXPECT_FALSE(has_flag(args.argc(), args.argv(), "--images"));
+}
+
+TEST(Cli, FlagValueParsesAndFallsBack) {
+  Argv args({"--threads", "4"});
+  EXPECT_EQ(flag_value(args.argc(), args.argv(), "--threads", 2), 4);
+  EXPECT_EQ(flag_value(args.argc(), args.argv(), "--images", 8), 8);
+}
+
+TEST(Cli, FlagValueRejectsMissingAndMalformedValues) {
+  Argv missing({"--threads"});
+  EXPECT_THROW(flag_value(missing.argc(), missing.argv(), "--threads", 1),
+               CheckError);
+  Argv malformed({"--threads", "four"});
+  EXPECT_THROW(flag_value(malformed.argc(), malformed.argv(), "--threads", 1),
+               CheckError);
+  Argv trailing({"--threads", "4x"});
+  EXPECT_THROW(flag_value(trailing.argc(), trailing.argv(), "--threads", 1),
+               CheckError);
+}
+
+TEST(Cli, PositiveFlagValueAcceptsPositiveCounts) {
+  Argv args({"--threads", "7"});
+  EXPECT_EQ(positive_flag_value(args.argc(), args.argv(), "--threads", 2), 7);
+  EXPECT_EQ(positive_flag_value(args.argc(), args.argv(), "--images", 8), 8);
+}
+
+TEST(Cli, PositiveFlagValueRejectsZeroAndNegative) {
+  Argv zero({"--threads", "0"});
+  try {
+    positive_flag_value(zero.argc(), zero.argv(), "--threads", 4);
+    FAIL() << "--threads 0 must throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--threads"), std::string::npos) << what;
+    EXPECT_NE(what.find("must be >= 1"), std::string::npos) << what;
+  }
+  Argv negative({"--threads", "-3"});
+  EXPECT_THROW(
+      positive_flag_value(negative.argc(), negative.argv(), "--threads", 4),
+      CheckError);
+}
+
+TEST(Cli, PositiveFlagValueValidatesTheFallbackToo) {
+  // A bad default is a caller bug, not something to silently pass into
+  // parallel_for when the user omits the flag.
+  Argv args({"--tiny"});
+  EXPECT_THROW(positive_flag_value(args.argc(), args.argv(), "--threads", 0),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace bkc

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "compress/instrumentation.h"
 #include "support/support.h"
 #include "util/check.h"
 
@@ -28,6 +29,34 @@ TEST(Engine, CompressIsIdempotent) {
   const auto kernel = engine.model().block(0).conv3x3().kernel();
   engine.compress();  // second call must not re-cluster
   EXPECT_TRUE(engine.model().block(0).conv3x3().kernel() == kernel);
+}
+
+TEST(Engine, CompressRunsOnePipelinePassPerBlock) {
+  // Engine::compress is a single compress_model pass: one frequency
+  // count and one clustering search per block, two grouped-codec builds
+  // (encoding + clustering columns) — and nothing else. Before the
+  // refactor the same call ran 3 / 2 / 3 per block across analyze()
+  // and compress_blocks().
+  Engine engine(test::tiny_config(19));
+  const auto blocks =
+      static_cast<std::uint64_t>(engine.model().num_blocks());
+  const compress::PipelineCounters before = compress::pipeline_counters();
+  engine.compress(2);
+  const compress::PipelineCounters delta =
+      compress::pipeline_counters().delta_since(before);
+  EXPECT_EQ(delta.frequency_counts, blocks);
+  EXPECT_EQ(delta.cluster_sequences_calls, blocks);
+  EXPECT_EQ(delta.grouped_codec_builds, 2 * blocks);
+
+  // Idempotent: a second compress() does no pipeline work at all.
+  const compress::PipelineCounters before_again =
+      compress::pipeline_counters();
+  engine.compress();
+  const compress::PipelineCounters delta_again =
+      compress::pipeline_counters().delta_since(before_again);
+  EXPECT_EQ(delta_again.frequency_counts, 0u);
+  EXPECT_EQ(delta_again.cluster_sequences_calls, 0u);
+  EXPECT_EQ(delta_again.grouped_codec_builds, 0u);
 }
 
 TEST(Engine, AccessorsGuardUncompressedState) {

@@ -1,8 +1,9 @@
 // The determinism guarantee of the parallel execution layer: every
 // parallel entry point (Engine::classify / classify_batch /
-// verify_streams / compress, ModelCompressor::analyze / compress_blocks)
-// must produce results bit-identical to the serial path at every thread
-// count, with and without the clustering pass.
+// verify_streams / compress, ModelCompressor::compress_model and its
+// analyze / compress_blocks views) must produce results bit-identical
+// to the serial path at every thread count, with and without the
+// clustering pass.
 
 #include <gtest/gtest.h>
 
@@ -117,33 +118,68 @@ TEST_P(ParallelDeterminism, ParallelConvClassifyMatchesSerial) {
 }
 
 TEST_P(ParallelDeterminism, AnalyzeMatchesSerial) {
+  // analyze() is a thin view over compress_model(), whose determinism
+  // the CompressModel test sweeps at every thread count; here one
+  // uneven-partition fan-out guards the view itself.
   const EngineOptions options = options_for(GetParam());
   const bnn::ReActNet model(test::tiny_config(25));
   const compress::ModelCompressor compressor(options.tree,
                                              options.clustering_config);
   const auto serial = compressor.analyze(model, 1);
+  expect_model_reports_equal(compressor.analyze(model, 7), serial);
+}
+
+void expect_kernel_compressions_equal(
+    const compress::KernelCompression& a,
+    const compress::KernelCompression& b) {
+  EXPECT_EQ(a.frequencies.counts(), b.frequencies.counts());
+  EXPECT_EQ(a.clustering.replacements().size(),
+            b.clustering.replacements().size());
+  EXPECT_EQ(a.clustering.replaced_occurrences(),
+            b.clustering.replaced_occurrences());
+  EXPECT_EQ(a.coded_frequencies.counts(), b.coded_frequencies.counts());
+  EXPECT_EQ(a.compressed.stream, b.compressed.stream);
+  EXPECT_EQ(a.compressed.stream_bits, b.compressed.stream_bits);
+  EXPECT_TRUE(a.coded_kernel == b.coded_kernel);
+}
+
+TEST(ParallelDeterminismCompressModel, MatchesSerialAtEveryThreadCount) {
+  // The unified pass: reports, both stream artifacts and the aggregate
+  // must all be bit-identical to the serial pass at every thread count.
+  const bnn::ReActNet model(test::tiny_config(33));
+  const compress::ModelCompressor compressor;
+  const auto serial = compressor.compress_model(model, 1);
   for (int threads : kThreadCounts) {
-    expect_model_reports_equal(compressor.analyze(model, threads), serial);
+    const auto parallel = compressor.compress_model(model, threads);
+    expect_model_reports_equal(parallel.report, serial.report);
+    ASSERT_EQ(parallel.blocks.size(), serial.blocks.size());
+    for (std::size_t b = 0; b < parallel.blocks.size(); ++b) {
+      expect_block_reports_equal(parallel.blocks[b].report,
+                                 serial.blocks[b].report);
+      expect_kernel_compressions_equal(parallel.blocks[b].encoding,
+                                       serial.blocks[b].encoding);
+      expect_kernel_compressions_equal(parallel.blocks[b].clustered,
+                                       serial.blocks[b].clustered);
+    }
   }
 }
 
 TEST_P(ParallelDeterminism, CompressBlocksMatchesSerial) {
+  // Like analyze(), a thin view: the full thread sweep lives in the
+  // CompressModel test, so one uneven fan-out suffices here.
   const bool clustering = GetParam();
   const EngineOptions options = options_for(clustering);
   const bnn::ReActNet model(test::tiny_config(27));
   const compress::ModelCompressor compressor(options.tree,
                                              options.clustering_config);
   const auto serial = compressor.compress_blocks(model, clustering, 1);
-  for (int threads : kThreadCounts) {
-    const auto parallel = compressor.compress_blocks(model, clustering,
-                                                     threads);
-    ASSERT_EQ(parallel.size(), serial.size());
-    for (std::size_t b = 0; b < parallel.size(); ++b) {
-      EXPECT_EQ(parallel[b].compressed.stream, serial[b].compressed.stream);
-      EXPECT_EQ(parallel[b].compressed.stream_bits,
-                serial[b].compressed.stream_bits);
-      EXPECT_TRUE(parallel[b].coded_kernel == serial[b].coded_kernel);
-    }
+  const auto parallel = compressor.compress_blocks(model, clustering, 7);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t b = 0; b < parallel.size(); ++b) {
+    EXPECT_EQ(parallel[b].compressed.stream, serial[b].compressed.stream);
+    EXPECT_EQ(parallel[b].compressed.stream_bits,
+              serial[b].compressed.stream_bits);
+    EXPECT_TRUE(parallel[b].coded_kernel == serial[b].coded_kernel);
   }
 }
 
