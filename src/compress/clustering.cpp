@@ -1,6 +1,7 @@
 #include "compress/clustering.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "bnn/kernel_sequences.h"
 #include "compress/instrumentation.h"
@@ -12,6 +13,47 @@ ClusteringResult::ClusteringResult() {
   for (int s = 0; s < bnn::kNumSequences; ++s) {
     remap_[s] = static_cast<SeqId>(s);
   }
+}
+
+ClusteringResult ClusteringResult::from_replacements(
+    std::vector<Replacement> replacements, std::uint64_t total_occurrences) {
+  // `total_occurrences` is a sequence count; bounding it keeps every
+  // accumulation below (occurrences * 9 fits) even on hostile input.
+  check(total_occurrences <= std::numeric_limits<std::uint64_t>::max() /
+                                 bnn::kSeqBits,
+        "ClusteringResult: implausible total occurrence count");
+  ClusteringResult result;
+  result.total_occurrences_ = total_occurrences;
+  for (const Replacement& r : replacements) {
+    check(r.from < bnn::kNumSequences && r.to < bnn::kNumSequences,
+          "ClusteringResult: replacement sequence id out of range");
+    check(r.from != r.to, "ClusteringResult: self-replacement");
+    // The stored distance is redundant with the pair itself; requiring
+    // the exact value (not just [1, 9]) keeps flipped-bit accounting
+    // honest on hostile input.
+    check(r.distance == bnn::hamming_distance(r.from, r.to),
+          "ClusteringResult: replacement distance does not match the "
+          "sequence pair");
+    check(result.remap_[r.from] == r.from,
+          "ClusteringResult: sequence replaced twice");
+    // Checked before each accumulation (not once at the end) so the sum
+    // can never wrap past the total and slip through.
+    check(r.occurrences <= total_occurrences - result.replaced_occurrences_,
+          "ClusteringResult: replaced occurrences exceed the total");
+    result.remap_[r.from] = r.to;
+    result.replaced_occurrences_ += r.occurrences;
+    result.flipped_weight_bits_ +=
+        r.occurrences * static_cast<std::uint64_t>(r.distance);
+  }
+  // No chains: a replacement target must itself be an unreplaced
+  // sequence (st and su are disjoint in cluster_sequences), otherwise
+  // remap() would disagree with transitive application.
+  for (const Replacement& r : replacements) {
+    check(result.remap_[r.to] == r.to,
+          "ClusteringResult: replacement target is itself replaced");
+  }
+  result.replacements_ = std::move(replacements);
+  return result;
 }
 
 SeqId ClusteringResult::remap(SeqId s) const {

@@ -49,6 +49,18 @@ class ClusteringResult {
  public:
   ClusteringResult();
 
+  /// Rebuild a result from its replacement list (the serialized form,
+  /// compress/serialize.h). The remap and the replaced/flipped counters
+  /// are derived from the replacements, so a restored result cannot be
+  /// internally inconsistent. CheckError on out-of-range sequence ids,
+  /// a stored distance that is not the pair's actual Hamming distance,
+  /// self-replacements, a sequence replaced twice, replacement chains
+  /// (a target that is itself replaced), or occurrence counts that
+  /// exceed the total (checked per replacement, overflow-proof).
+  static ClusteringResult from_replacements(
+      std::vector<Replacement> replacements,
+      std::uint64_t total_occurrences);
+
   /// Where sequence `s` now maps (itself if kept).
   SeqId remap(SeqId s) const;
 

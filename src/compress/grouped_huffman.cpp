@@ -78,6 +78,30 @@ GroupedHuffmanCodec::GroupedHuffmanCodec(const FrequencyTable& table,
   }
 }
 
+GroupedHuffmanCodec::GroupedHuffmanCodec(GroupedTreeConfig config,
+                                         std::vector<std::vector<SeqId>> tables)
+    : config_(std::move(config)), tables_(std::move(tables)) {
+  config_.validate();
+  check(tables_.size() == static_cast<std::size_t>(config_.num_nodes()),
+        "GroupedHuffmanCodec: decode-table count does not match the tree "
+        "config");
+  node_.fill(-1);
+  for (int n = 0; n < config_.num_nodes(); ++n) {
+    const auto& table = tables_[static_cast<std::size_t>(n)];
+    check(table.size() <= config_.capacity(n),
+          "GroupedHuffmanCodec: decode table overflows its node capacity");
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      const SeqId s = table[i];
+      check(s < bnn::kNumSequences,
+            "GroupedHuffmanCodec: decode-table sequence id out of range");
+      check(node_[s] < 0,
+            "GroupedHuffmanCodec: sequence assigned to two codewords");
+      node_[s] = static_cast<std::int8_t>(n);
+      index_[s] = static_cast<std::uint16_t>(i);
+    }
+  }
+}
+
 bool GroupedHuffmanCodec::has_code(SeqId s) const {
   check(s < bnn::kNumSequences, "GroupedHuffmanCodec: id out of range");
   return node_[s] >= 0;

@@ -59,6 +59,19 @@ class GroupedHuffmanCodec {
   GroupedHuffmanCodec(const FrequencyTable& table,
                       GroupedTreeConfig config = GroupedTreeConfig::paper());
 
+  /// Rebuild a codec from its decode tables (one sequence list per
+  /// node), the serialized form of compress/serialize.h and the exact
+  /// payload a hardware decoder ships (Fig. 6 scratchpad banks). The
+  /// codeword assignment (node_of/index_of) is derived from the table
+  /// positions, so a restored codec encodes and decodes identically to
+  /// the one that wrote the tables. CheckError when the table count
+  /// does not match the config, a node overflows its capacity, an id is
+  /// out of range, or a sequence appears twice. Does not bump the
+  /// instrumentation build counter: restoring tables is I/O, not
+  /// pipeline work.
+  GroupedHuffmanCodec(GroupedTreeConfig config,
+                      std::vector<std::vector<SeqId>> tables);
+
   const GroupedTreeConfig& config() const { return config_; }
 
   bool has_code(SeqId s) const;

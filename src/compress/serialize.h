@@ -1,0 +1,176 @@
+#pragma once
+// BKCM ("BNN Kernel-Compressed Model") — the on-disk container for a
+// compressed model, v1. This is the deployment artifact of the paper's
+// scheme: the model ships as the per-block decode tables plus the
+// compressed kernel streams (exactly what the Sec IV hardware decoder
+// consumes), the clustering remap and frequency statistics, the model
+// configuration needed to rebuild the uncompressed layers, and the
+// compression report. The 3x3 kernels themselves are NOT stored — the
+// loader reconstructs them by decoding the streams (core/engine.h,
+// Engine::load_compressed).
+//
+// File layout (everything little-endian, util/binary_io.h):
+//
+//   +--------------------------------------------------------------+
+//   | magic "BKCM" | version u32 | flags u32 | section_count u32   |
+//   +--------------------------------------------------------------+
+//   | section table: id u32 | offset u64 | length u64 | crc32 u32  |
+//   |   (one row per section, offsets absolute from file start)    |
+//   +--------------------------------------------------------------+
+//   | 'CONF' tree + clustering config, ReActNet model config       |
+//   | 'REPT' ModelReport (doubles stored as IEEE-754 bit patterns) |
+//   | 'BLKS' per-block codec tables, remaps and kernel bitstreams  |
+//   +--------------------------------------------------------------+
+//
+// v1 is strict: exactly the three sections above, in that order,
+// contiguous, with a CRC-32 each. A reader rejects bad magic, an
+// unknown version or flag bit, a section range outside the file, a
+// checksum mismatch, and trailing bytes — always with CheckError
+// naming the offending section, never undefined behaviour
+// (tests/test_bkcm_robustness.cpp). Any layout change bumps
+// kBkcmVersion; README.md ("On-disk format") states the compat policy.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bnn/reactnet.h"
+#include "compress/kernel_codec.h"
+#include "compress/pipeline.h"
+#include "util/binary_io.h"
+
+namespace bkc::compress {
+
+/// Four-character section/file tag packed little-endian (the first
+/// character is the file's first byte).
+constexpr std::uint32_t fourcc(char a, char b, char c, char d) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+inline constexpr std::uint32_t kBkcmMagic = fourcc('B', 'K', 'C', 'M');
+inline constexpr std::uint32_t kBkcmVersion = 1;
+/// flags bit 0: the engine that wrote the file ran the clustering pass
+/// (the streams encode the clustered kernels).
+inline constexpr std::uint32_t kBkcmFlagClustering = 1u << 0;
+
+inline constexpr std::uint32_t kBkcmSectionConfig = fourcc('C', 'O', 'N', 'F');
+inline constexpr std::uint32_t kBkcmSectionReport = fourcc('R', 'E', 'P', 'T');
+inline constexpr std::uint32_t kBkcmSectionBlocks = fourcc('B', 'L', 'K', 'S');
+
+/// Everything a BKCM container holds. `streams` carries one
+/// KernelCompression per basic block in model order; its `coded_kernel`
+/// member is NOT part of the container (the loader reconstructs it by
+/// decoding `compressed` with `codec`) and is left default-constructed
+/// by read_bkcm().
+struct BkcmContents {
+  bool clustering = true;
+  GroupedTreeConfig tree;
+  ClusteringConfig clustering_config;
+  bnn::ReActNetConfig model_config;
+  ModelReport report;
+  std::vector<KernelCompression> streams;
+};
+
+// ---- Per-struct serializers ----
+// Each write_x/read_x pair is an exact inverse (locked down field by
+// field in tests/test_serialize.cpp); readers validate every invariant
+// they can check locally and fail with CheckError carrying the
+// reader's context.
+
+void write_tree_config(ByteWriter& writer, const GroupedTreeConfig& config);
+GroupedTreeConfig read_tree_config(ByteReader& reader);
+
+void write_clustering_config(ByteWriter& writer,
+                             const ClusteringConfig& config);
+ClusteringConfig read_clustering_config(ByteReader& reader);
+
+void write_block_config(ByteWriter& writer, const bnn::BlockConfig& config);
+bnn::BlockConfig read_block_config(ByteReader& reader);
+
+void write_reactnet_config(ByteWriter& writer,
+                           const bnn::ReActNetConfig& config);
+bnn::ReActNetConfig read_reactnet_config(ByteReader& reader);
+
+/// Sparse form: (id, count) pairs for the non-zero entries, ids
+/// strictly ascending (the canonical order — a reader rejects anything
+/// else, so every table has exactly one valid encoding).
+void write_frequency_table(ByteWriter& writer, const FrequencyTable& table);
+FrequencyTable read_frequency_table(ByteReader& reader);
+
+/// The replacement list plus the total; the remap and the derived
+/// counters are rebuilt via ClusteringResult::from_replacements.
+void write_clustering_result(ByteWriter& writer,
+                             const ClusteringResult& result);
+ClusteringResult read_clustering_result(ByteReader& reader);
+
+/// Tree config plus the per-node decode tables (the hardware scratchpad
+/// banks); the codeword assignment is derived from the table positions.
+void write_codec(ByteWriter& writer, const GroupedHuffmanCodec& codec);
+GroupedHuffmanCodec read_codec(ByteReader& reader);
+
+void write_compressed_kernel(ByteWriter& writer,
+                             const CompressedKernel& kernel);
+CompressedKernel read_compressed_kernel(ByteReader& reader);
+
+/// Everything except `coded_kernel` (reconstructed by decoding).
+void write_kernel_compression(ByteWriter& writer,
+                              const KernelCompression& stream);
+KernelCompression read_kernel_compression(ByteReader& reader);
+
+void write_block_report(ByteWriter& writer, const BlockReport& report);
+BlockReport read_block_report(ByteReader& reader);
+
+void write_model_report(ByteWriter& writer, const ModelReport& report);
+ModelReport read_model_report(ByteReader& reader);
+
+// ---- Container ----
+
+/// Serialize to a complete BKCM file image (header, section table,
+/// checksummed sections). Deterministic: the same contents always
+/// produce the same bytes (the golden-file test pins this).
+std::vector<std::uint8_t> write_bkcm(const BkcmContents& contents);
+
+/// Same bytes from the individual parts — lets callers that already
+/// hold them (Engine::save_compressed) serialize without first copying
+/// the report and every stream into a BkcmContents.
+std::vector<std::uint8_t> write_bkcm(
+    bool clustering, const GroupedTreeConfig& tree,
+    const ClusteringConfig& clustering_config,
+    const bnn::ReActNetConfig& model_config, const ModelReport& report,
+    const std::vector<KernelCompression>& streams);
+
+/// Parse and validate a BKCM file image. CheckError (naming the header
+/// or section at fault) on any structural or checksum failure.
+BkcmContents read_bkcm(std::span<const std::uint8_t> file);
+
+/// One validated row of the section table.
+struct BkcmSection {
+  std::string name;  ///< fourcc as text, e.g. "CONF"
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Header summary for tooling (`bkcm_tool info`). Validates the header,
+/// section table and checksums, but does not parse section payloads.
+struct BkcmInfo {
+  std::uint32_t version = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t file_size = 0;
+  std::vector<BkcmSection> sections;
+};
+
+BkcmInfo inspect_bkcm(std::span<const std::uint8_t> file);
+
+/// read_bkcm reusing an `info` previously returned by inspect_bkcm() on
+/// the SAME bytes — skips the header walk and the per-section CRC pass
+/// (tooling that prints the section table and then parses would
+/// otherwise checksum the whole file twice).
+BkcmContents read_bkcm(std::span<const std::uint8_t> file,
+                       const BkcmInfo& info);
+
+}  // namespace bkc::compress

@@ -24,6 +24,7 @@
 #include "compress/instrumentation.h"
 #include "compress/kernel_codec.h"
 #include "compress/pipeline.h"
+#include "compress/serialize.h"
 #include "core/engine.h"
 #include "hwsim/cache.h"
 #include "hwsim/conv_trace.h"
@@ -32,6 +33,7 @@
 #include "hwsim/params.h"
 #include "hwsim/perf_model.h"
 #include "tensor/tensor.h"
+#include "util/binary_io.h"
 #include "util/bitstream.h"
 #include "util/check.h"
 #include "util/cli.h"

@@ -1,5 +1,7 @@
 #include "core/engine.h"
 
+#include "compress/serialize.h"
+#include "util/binary_io.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -75,6 +77,68 @@ bool Engine::verify_streams(int num_threads) const {
     if (!flag) return false;
   }
   return true;
+}
+
+void Engine::save_compressed(const std::string& path) const {
+  check(compressed_, "Engine::save_compressed: call compress() first");
+  // The field-wise overload serializes straight from the engine state —
+  // no copy of the report or the per-block streams.
+  const std::vector<std::uint8_t> file = compress::write_bkcm(
+      options_.clustering, options_.tree, options_.clustering_config,
+      model_.config(), report_, streams_);
+  write_file_bytes(path, file);
+}
+
+Engine Engine::load_compressed(const std::string& path, int num_threads) {
+  compress::BkcmContents contents =
+      compress::read_bkcm(read_file_bytes(path));
+
+  // Rebuild the uncompressed layers (stem, batch norms, 1x1s,
+  // classifier) deterministically from the stored configuration, then
+  // replace every 3x3 kernel with the decoded stream content — the
+  // decode-side reconstruction of the paper's Sec IV deployment story.
+  Engine engine(contents.model_config,
+                EngineOptions{.clustering = contents.clustering,
+                              .tree = contents.tree,
+                              .clustering_config = contents.clustering_config});
+
+  // Decode one stream per work unit; each unit writes only its own
+  // slot, so the fan-out is bit-identical to the serial path. Decode
+  // errors (a stream inconsistent with its codec) surface as CheckError
+  // out of the pool's lowest-index propagation.
+  const auto num_blocks = static_cast<std::int64_t>(contents.streams.size());
+  check(static_cast<std::size_t>(num_blocks) == engine.model_.num_blocks(),
+        "Engine::load_compressed: container stream count does not match "
+        "the model");
+  // Validate stream shapes against the model BEFORE decoding, so a
+  // hostile-but-checksummed channel count cannot drive a huge decode
+  // allocation.
+  for (std::size_t b = 0; b < engine.model_.num_blocks(); ++b) {
+    const auto& shape = engine.model_.block(b).conv3x3().kernel().shape();
+    const compress::CompressedKernel& stream = contents.streams[b].compressed;
+    check(stream.out_channels == shape.out_channels &&
+              stream.in_channels == shape.in_channels,
+          "Engine::load_compressed: stream shape for block " +
+              std::to_string(b) + " (" + engine.model_.block(b).name() +
+              ") does not match the model");
+  }
+  parallel_for(num_blocks, num_threads,
+               [&](std::int64_t begin, std::int64_t end) {
+                 for (std::int64_t b = begin; b < end; ++b) {
+                   const auto i = static_cast<std::size_t>(b);
+                   compress::KernelCompression& stream = contents.streams[i];
+                   stream.coded_kernel = compress::decompress_kernel(
+                       stream.compressed, stream.codec);
+                 }
+               });
+  for (std::size_t b = 0; b < engine.model_.num_blocks(); ++b) {
+    engine.model_.block(b).conv3x3().set_kernel(
+        contents.streams[b].coded_kernel);
+  }
+  engine.report_ = std::move(contents.report);
+  engine.streams_ = std::move(contents.streams);
+  engine.compressed_ = true;
+  return engine;
 }
 
 hwsim::SpeedupReport Engine::simulate_speedup(

@@ -8,6 +8,7 @@
 // decode bit-exactly, and estimate the hardware-assisted speedup on the
 // A53 timing model. See examples/quickstart.cpp for a tour.
 
+#include <string>
 #include <vector>
 
 #include "bnn/reactnet.h"
@@ -69,6 +70,26 @@ class Engine {
   /// installed kernels bit-exactly, one stream per work unit across
   /// `num_threads`. Precondition: compress() was called.
   bool verify_streams(int num_threads = 1) const;
+
+  /// Write the compressed model to `path` as a BKCM v1 container
+  /// (compress/serialize.h): model configuration, compression report,
+  /// and per-block decode tables + kernel bitstreams. The 3x3 kernels
+  /// themselves are not stored — load_compressed() reconstructs them by
+  /// decoding the streams. Deterministic output (same engine, same
+  /// bytes). Precondition: compress() was called.
+  void save_compressed(const std::string& path) const;
+
+  /// Stand up an Engine from a BKCM container alone: rebuild the
+  /// uncompressed layers from the stored model configuration, then
+  /// decode every kernel stream (fanned out over `num_threads` with the
+  /// usual serial-equivalence guarantee) and install the decoded
+  /// kernels. The result is bit-identical to the engine that wrote the
+  /// file: installed kernels, report() and classification outputs all
+  /// match exactly (tests/test_serialize.cpp). CheckError on a
+  /// truncated, corrupt or inconsistent container — the message names
+  /// the failing section.
+  static Engine load_compressed(const std::string& path,
+                                int num_threads = 1);
 
   /// Simulate the three execution variants on the timing model.
   /// Precondition: compress() was called.

@@ -6,6 +6,7 @@
 // parallel fan-out.
 
 #include <charconv>
+#include <string>
 #include <string_view>
 
 #include "util/check.h"
@@ -38,6 +39,30 @@ inline int flag_value(int argc, char** argv, std::string_view flag,
     return value;
   }
   return fallback;
+}
+
+/// String value following `flag` (e.g. "--out model.bkcm"); `fallback`
+/// when the flag is absent. Throws CheckError when the flag is present
+/// as the last argument (no value to take). Path arguments in the
+/// bench/example binaries go through this instead of ad-hoc argv
+/// scanning. Returns by value (like the sibling helpers) so a
+/// temporary passed as `fallback` can never leave the caller holding a
+/// dangling view.
+inline std::string flag_string_value(int argc, char** argv,
+                                     std::string_view flag,
+                                     std::string_view fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag != argv[i]) continue;
+    check(i + 1 < argc, std::string(flag) + " requires a value");
+    const std::string_view value = argv[i + 1];
+    // A value that looks like another flag is a forgotten argument
+    // ("--out --tiny"), not a path called "--tiny".
+    check(value.substr(0, 2) != "--",
+          std::string(flag) + " requires a value, got flag-like '" +
+              std::string(value) + "'");
+    return std::string(value);
+  }
+  return std::string(fallback);
 }
 
 /// flag_value for counts that must be >= 1 (thread counts, image

@@ -76,6 +76,47 @@ TEST(Cli, PositiveFlagValueRejectsZeroAndNegative) {
       CheckError);
 }
 
+TEST(Cli, FlagStringValueParsesAndFallsBack) {
+  Argv args({"--out", "model.bkcm", "--tiny"});
+  EXPECT_EQ(flag_string_value(args.argc(), args.argv(), "--out", "fallback"),
+            "model.bkcm");
+  EXPECT_EQ(flag_string_value(args.argc(), args.argv(), "--file", "fallback"),
+            "fallback");
+}
+
+TEST(Cli, FlagStringValueTakesTheFirstOccurrence) {
+  Argv args({"--out", "first.bkcm", "--out", "second.bkcm"});
+  EXPECT_EQ(flag_string_value(args.argc(), args.argv(), "--out", "fallback"),
+            "first.bkcm");
+}
+
+TEST(Cli, FlagStringValueRejectsMissingValue) {
+  Argv missing({"--tiny", "--out"});
+  try {
+    flag_string_value(missing.argc(), missing.argv(), "--out", "fallback");
+    FAIL() << "--out as the last argument must throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--out"), std::string::npos) << what;
+    EXPECT_NE(what.find("requires a value"), std::string::npos) << what;
+  }
+}
+
+TEST(Cli, FlagStringValueRejectsFlagLikeValue) {
+  // "--out --tiny" is a forgotten path, not a file named "--tiny".
+  Argv args({"--out", "--tiny"});
+  try {
+    flag_string_value(args.argc(), args.argv(), "--out", "fallback");
+    FAIL() << "a flag-like value must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("--tiny"), std::string::npos)
+        << e.what();
+  }
+  // A single leading dash is still a legal value (e.g. "-" for stdin).
+  Argv dash({"--out", "-"});
+  EXPECT_EQ(flag_string_value(dash.argc(), dash.argv(), "--out", "x"), "-");
+}
+
 TEST(Cli, PositiveFlagValueValidatesTheFallbackToo) {
   // A bad default is a caller bug, not something to silently pass into
   // parallel_for when the user omits the flag.
