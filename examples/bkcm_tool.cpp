@@ -1,6 +1,8 @@
 // Command-line round trip for the BKCM container format: compress a
-// ReActNet to disk, inspect / verify a container, and classify straight
-// from compressed bits (no original weights anywhere in the load path).
+// ReActNet to disk, inspect / verify a container, classify straight
+// from compressed bits (no original weights anywhere in the load path),
+// and run the paper's CPU/decoder timing comparison directly from a
+// container's artifacts (no kernel is ever decoded for `speedup`).
 //
 //   ./examples/bkcm_tool compress [--out model.bkcm] [--tiny] [--seed S]
 //                                 [--threads N] [--no-clustering]
@@ -8,9 +10,11 @@
 //   ./examples/bkcm_tool verify   [--file model.bkcm] [--threads N]
 //   ./examples/bkcm_tool classify [--file model.bkcm] [--images N]
 //                                 [--threads N]
+//   ./examples/bkcm_tool speedup  [--file model.bkcm]
 //
-// The CTest smoke targets chain `compress --tiny` and `classify` on the
-// same file, proving the save -> load -> inference path end to end.
+// The CTest smoke targets chain `compress --tiny` with `classify` and
+// `speedup` on the same file, proving the save -> load -> inference and
+// the save -> simulate paths end to end.
 
 #include <charconv>
 #include <cstdio>
@@ -169,8 +173,45 @@ int run_classify(int argc, char** argv) {
   return 0;
 }
 
+int run_speedup(int argc, char** argv) {
+  // The artifact-view path end to end: the container is memory-mapped,
+  // its 'BLKS' section becomes a CompressedModelView (stream spans
+  // point into the mapping, code lengths come from a prefix scan), and
+  // the timing model consumes that view. No compression pass runs, no
+  // kernel is decoded and no weight is sampled — the op-record layout
+  // comes from the configuration alone (bnn::op_records_for).
+  const std::string path(
+      flag_string_value(argc, argv, "--file", "model.bkcm"));
+
+  const compress::MappedBkcm mapped = compress::MappedBkcm::open(path);
+  const hwsim::SpeedupReport report = hwsim::compare_model(
+      mapped.view(bnn::op_records_for(mapped.model_config())));
+
+  std::cout << path << ": " << mapped.blocks().size()
+            << " blocks simulated from mapped streams (clustering "
+            << (mapped.clustering() ? "on" : "off") << ")\n";
+  Table table({"layer", "baseline kcycles", "sw-decode kcycles",
+               "hw-decode kcycles", "sw slowdown", "hw speedup"});
+  for (const auto& layer : report.conv3x3) {
+    table.row()
+        .add(layer.name)
+        .add(layer.baseline_cycles / 1000)
+        .add(layer.sw_cycles / 1000)
+        .add(layer.hw_cycles / 1000)
+        .add(ratio_str(layer.sw_slowdown()))
+        .add(ratio_str(layer.hw_speedup()));
+  }
+  table.print("Per-layer timing of the 3x3 binary convolutions");
+  std::cout << "\nwhole model: sw-decode slowdown "
+            << ratio_str(report.model_sw_slowdown())
+            << ", hw-decode speedup "
+            << ratio_str(report.model_hw_speedup())
+            << " (paper Sec VI: 1.47x slower / 1.35x faster)\n";
+  return 0;
+}
+
 int usage() {
-  std::cerr << "usage: bkcm_tool <compress|info|verify|classify> "
+  std::cerr << "usage: bkcm_tool <compress|info|verify|classify|speedup> "
                "[--out|--file <path>] [--tiny] [--seed S] [--threads N] "
                "[--images N] [--no-clustering]\n";
   return 2;
@@ -186,6 +227,7 @@ int main(int argc, char** argv) {
     if (command == "info") return run_info(argc, argv);
     if (command == "verify") return run_verify(argc, argv);
     if (command == "classify") return run_classify(argc, argv);
+    if (command == "speedup") return run_speedup(argc, argv);
   } catch (const std::exception& e) {
     // CheckError (bad flags, corrupt/truncated container) and anything
     // unexpected: report, don't terminate.

@@ -39,6 +39,8 @@ int main(int argc, char** argv) {
       bnn::SequenceDistribution::fitted(bnn::paper_table2_targets()[6]);
   const auto kernel = gen.sample_kernel3x3(channels, channels, dist);
   const auto compression = compress::compress_kernel_pipeline(kernel, true);
+  // Borrows the pipeline's code-length artifact; `compression` stays
+  // alive for the whole run.
   const hwsim::StreamInfo stream = hwsim::stream_info_for(compression);
 
   std::cout << "Layer: " << op.kernel_shape.to_string() << " at " << size

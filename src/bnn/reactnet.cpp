@@ -172,11 +172,14 @@ std::vector<OpRecord> BasicBlock::op_records(const FeatureShape& input) const {
   return records;
 }
 
-ReActNet::ReActNet(const ReActNetConfig& config) : config_(config) {
+ReActNet::ReActNet(const ReActNetConfig& config)
+    : ReActNet(config, WeightGenerator(config.seed)) {}
+
+ReActNet::ReActNet(const ReActNetConfig& config, WeightGenerator generator)
+    : config_(config) {
   check(!config.blocks.empty(), "ReActNet: at least one block required");
   check(config.blocks.front().in_channels == config.stem_channels,
         "ReActNet: stem channels must match the first block");
-  WeightGenerator generator(config.seed);
 
   stem_ = std::make_unique<Int8Conv2d>(
       "stem.conv3x3",
@@ -259,5 +262,9 @@ std::vector<OpRecord> ReActNet::op_records() const {
 }
 
 StorageBreakdown ReActNet::storage() const { return summarize(op_records()); }
+
+std::vector<OpRecord> op_records_for(const ReActNetConfig& config) {
+  return ReActNet(config, WeightGenerator::layout_only()).op_records();
+}
 
 }  // namespace bkc::bnn

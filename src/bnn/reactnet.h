@@ -126,11 +126,29 @@ class ReActNet {
   StorageBreakdown storage() const;
 
  private:
+  /// Shared ctor body: `generator` supplies every weight tensor (the
+  /// public ctor seeds it from the config; op_records_for passes the
+  /// layout-only generator).
+  ReActNet(const ReActNetConfig& config, WeightGenerator generator);
+
+  friend std::vector<OpRecord> op_records_for(const ReActNetConfig& config);
+
   ReActNetConfig config_;
   std::unique_ptr<Int8Conv2d> stem_;
   std::vector<BasicBlock> blocks_;
   GlobalAvgPool pool_;
   std::unique_ptr<Int8Linear> classifier_;
 };
+
+/// The op-record layout of a ReActNet with this configuration, without
+/// sampling a single weight: the model is stood up with zero-filled
+/// (layout-only) parameters, so the SAME structural walk and per-layer
+/// info() code as ReActNet::op_records produces the records — the
+/// layout can never drift from a real model's, and op records depend on
+/// shapes alone (tests/test_reactnet.cpp pins the field-for-field
+/// equality). This is what container tooling uses to feed
+/// hwsim::compare_model from a mapped BKCM file without paying the
+/// weight-generation cost of a full model.
+std::vector<OpRecord> op_records_for(const ReActNetConfig& config);
 
 }  // namespace bkc::bnn

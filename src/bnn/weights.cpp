@@ -276,15 +276,22 @@ double SequenceDistribution::entropy_bits() const {
 
 WeightGenerator::WeightGenerator(std::uint64_t seed) : rng_(seed) {}
 
+WeightGenerator WeightGenerator::layout_only() {
+  WeightGenerator generator(0);
+  generator.layout_only_ = true;
+  return generator;
+}
+
 PackedKernel WeightGenerator::sample_kernel3x3(
     std::int64_t out_channels, std::int64_t in_channels,
     const SequenceDistribution& dist) {
   check(out_channels > 0 && in_channels > 0,
         "sample_kernel3x3: channels must be positive");
-  const auto& p = dist.probabilities();
-  AliasSampler sampler{std::span<const double>(p.data(), p.size())};
   PackedKernel kernel(
       KernelShape{out_channels, in_channels, kSeqSide, kSeqSide});
+  if (layout_only_) return kernel;
+  const auto& p = dist.probabilities();
+  AliasSampler sampler{std::span<const double>(p.data(), p.size())};
   for (std::int64_t o = 0; o < out_channels; ++o) {
     for (std::int64_t i = 0; i < in_channels; ++i) {
       const auto seq = static_cast<SeqId>(sampler.sample(rng_));
@@ -303,6 +310,7 @@ PackedKernel WeightGenerator::sample_kernel(const KernelShape& shape,
   check(plus_one_density >= 0.0 && plus_one_density <= 1.0,
         "sample_kernel: density must be in [0, 1]");
   PackedKernel kernel(shape);
+  if (layout_only_) return kernel;
   for (std::int64_t o = 0; o < shape.out_channels; ++o) {
     for (std::int64_t i = 0; i < shape.in_channels; ++i) {
       for (std::int64_t ky = 0; ky < shape.kernel_h; ++ky) {
@@ -319,6 +327,7 @@ PackedKernel WeightGenerator::sample_kernel(const KernelShape& shape,
 WeightTensor WeightGenerator::sample_float_weights(const KernelShape& shape,
                                                    float stddev) {
   WeightTensor weights(shape);
+  if (layout_only_) return weights;
   for (float& v : weights.data()) {
     v = static_cast<float>(rng_.normal()) * stddev;
   }
@@ -328,6 +337,7 @@ WeightTensor WeightGenerator::sample_float_weights(const KernelShape& shape,
 std::vector<float> WeightGenerator::sample_floats(std::size_t count,
                                                   float stddev, float mean) {
   std::vector<float> out(count);
+  if (layout_only_) return out;
   for (float& v : out) {
     v = mean + static_cast<float>(rng_.normal()) * stddev;
   }

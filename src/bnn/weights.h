@@ -91,6 +91,14 @@ class WeightGenerator {
  public:
   explicit WeightGenerator(std::uint64_t seed = 1);
 
+  /// A generator whose kernel/weight samplers return zero-filled
+  /// tensors of the requested shape without consuming randomness.
+  /// For standing a model up when only its *structure* matters (op
+  /// records and storage accounting depend on shapes, never on weight
+  /// values — bnn::op_records_for builds on this); a layout-only model
+  /// is not meant to be run. sample_activation is unaffected.
+  static WeightGenerator layout_only();
+
   /// Sample a 3x3 packed kernel whose channel bit sequences are i.i.d.
   /// draws from `dist`.
   PackedKernel sample_kernel3x3(std::int64_t out_channels,
@@ -117,6 +125,7 @@ class WeightGenerator {
 
  private:
   Rng rng_;
+  bool layout_only_ = false;
 };
 
 }  // namespace bkc::bnn

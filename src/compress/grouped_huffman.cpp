@@ -215,4 +215,39 @@ std::uint64_t GroupedHuffmanCodec::table_bits() const {
   return bits;
 }
 
+std::vector<std::uint8_t> scan_code_lengths(
+    std::span<const std::uint8_t> stream, std::size_t bit_count,
+    std::size_t count, const GroupedTreeConfig& config) {
+  config.validate();
+  check(bit_count <= stream.size() * 8,
+        "scan_code_lengths: bit count exceeds the stream buffer");
+  BitReader reader(stream, bit_count);
+  std::vector<std::uint8_t> lengths;
+  lengths.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // The node prefix alone fixes the codeword length; the index bits
+    // carry no length information and are skipped unread.
+    int node = 0;
+    while (node < config.num_nodes() - 1) {
+      check(reader.remaining() >= 1,
+            "scan_code_lengths: stream ends mid-codeword (sequence " +
+                std::to_string(i) + " of " + std::to_string(count) + ")");
+      if (!reader.read_bit()) break;
+      ++node;
+    }
+    const auto index_bits = static_cast<std::size_t>(
+        config.index_bits[static_cast<std::size_t>(node)]);
+    check(reader.remaining() >= index_bits,
+          "scan_code_lengths: stream ends mid-codeword (sequence " +
+              std::to_string(i) + " of " + std::to_string(count) + ")");
+    reader.skip_bits(index_bits);
+    lengths.push_back(static_cast<std::uint8_t>(config.code_length(node)));
+  }
+  check(reader.remaining() == 0,
+        "scan_code_lengths: " + std::to_string(count) +
+            " codewords consumed " + std::to_string(reader.position()) +
+            " bits, the stream declares " + std::to_string(bit_count));
+  return lengths;
+}
+
 }  // namespace bkc::compress

@@ -118,4 +118,15 @@ class GroupedHuffmanCodec {
   std::vector<std::vector<SeqId>> tables_;  // node -> index -> sequence
 };
 
+/// Per-codeword bit lengths of an encoded stream in stream order,
+/// recovered by reading each codeword's node prefix only (the index
+/// bits are skipped): no decode-table lookups, no sequence
+/// reconstruction. Identical to the lengths the encoder assigned, so a
+/// mapped container can expose a code-length vector without decoding a
+/// single kernel. CheckError when the stream ends mid-codeword or the
+/// `count` codewords do not consume exactly `bit_count` bits.
+std::vector<std::uint8_t> scan_code_lengths(
+    std::span<const std::uint8_t> stream, std::size_t bit_count,
+    std::size_t count, const GroupedTreeConfig& config);
+
 }  // namespace bkc::compress

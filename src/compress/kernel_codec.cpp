@@ -32,6 +32,16 @@ CompressedKernel compress_sequences(std::span<const SeqId> sequences,
   return out;
 }
 
+std::vector<std::uint8_t> code_lengths_for(std::span<const SeqId> sequences,
+                                           const GroupedHuffmanCodec& codec) {
+  std::vector<std::uint8_t> lengths;
+  lengths.reserve(sequences.size());
+  for (const SeqId s : sequences) {
+    lengths.push_back(static_cast<std::uint8_t>(codec.code_length(s)));
+  }
+  return lengths;
+}
+
 bnn::PackedKernel decompress_kernel(const CompressedKernel& compressed,
                                     const GroupedHuffmanCodec& codec) {
   const auto sequences =
@@ -59,13 +69,18 @@ KernelCompression compress_kernel_pipeline(const bnn::PackedKernel& kernel,
   FrequencyTable coded_frequencies =
       FrequencyTable::from_kernel(coded_kernel);
   GroupedHuffmanCodec codec(coded_frequencies, tree);
-  CompressedKernel compressed = compress_kernel(coded_kernel, codec);
+  const std::vector<SeqId> sequences = bnn::extract_sequences(coded_kernel);
+  CompressedKernel compressed =
+      compress_sequences(sequences, coded_kernel.shape().out_channels,
+                         coded_kernel.shape().in_channels, codec);
+  std::vector<std::uint8_t> code_lengths = code_lengths_for(sequences, codec);
   return {.frequencies = std::move(frequencies),
           .clustering = std::move(cluster_result),
           .coded_frequencies = std::move(coded_frequencies),
           .codec = std::move(codec),
           .compressed = std::move(compressed),
-          .coded_kernel = std::move(coded_kernel)};
+          .coded_kernel = std::move(coded_kernel),
+          .code_lengths = std::move(code_lengths)};
 }
 
 }  // namespace bkc::compress

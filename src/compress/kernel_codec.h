@@ -69,7 +69,18 @@ struct KernelCompression {
   CompressedKernel compressed;
   /// The kernel the stream actually encodes (clustered when enabled).
   bnn::PackedKernel coded_kernel;
+  /// Per-sequence codeword bit lengths of `compressed` in stream order,
+  /// computed once when the stream is emitted (or scanned once when a
+  /// container is read). hwsim::StreamInfo borrows this vector instead
+  /// of re-deriving lengths per call; their sum equals
+  /// `compressed.stream_bits` by construction.
+  std::vector<std::uint8_t> code_lengths;
 };
+
+/// Codeword bit lengths of `sequences` under `codec`, in stream order —
+/// the `KernelCompression::code_lengths` artifact.
+std::vector<std::uint8_t> code_lengths_for(std::span<const SeqId> sequences,
+                                           const GroupedHuffmanCodec& codec);
 
 /// Run the full pipeline on one kernel.
 KernelCompression compress_kernel_pipeline(

@@ -67,13 +67,19 @@ CompressedBlock ModelCompressor::compress_block(
   report.huffman_ratio = huffman.compression_ratio(clustered_table);
 
   // Both stream artifacts, from the codecs and sequence lists already
-  // built (no re-extraction from the packed kernels).
+  // built (no re-extraction from the packed kernels). The code-length
+  // vectors are part of the artifact: hwsim's StreamInfo borrows them
+  // instead of re-walking the kernel per simulation.
   CompressedKernel plain_stream =
       compress_sequences(sequences, kernel.shape().out_channels,
                          kernel.shape().in_channels, plain_codec);
   CompressedKernel clustered_stream =
       compress_sequences(remapped, kernel.shape().out_channels,
                          kernel.shape().in_channels, clustered_codec);
+  std::vector<std::uint8_t> plain_lengths =
+      code_lengths_for(sequences, plain_codec);
+  std::vector<std::uint8_t> clustered_lengths =
+      code_lengths_for(remapped, clustered_codec);
 
   return CompressedBlock{
       .encoding =
@@ -83,7 +89,8 @@ CompressedBlock ModelCompressor::compress_block(
               .coded_frequencies = table,
               .codec = std::move(plain_codec),
               .compressed = std::move(plain_stream),
-              .coded_kernel = kernel},
+              .coded_kernel = kernel,
+              .code_lengths = std::move(plain_lengths)},
       .clustered =
           KernelCompression{
               .frequencies = std::move(table),
@@ -91,7 +98,8 @@ CompressedBlock ModelCompressor::compress_block(
               .coded_frequencies = std::move(clustered_table),
               .codec = std::move(clustered_codec),
               .compressed = std::move(clustered_stream),
-              .coded_kernel = std::move(coded_kernel)},
+              .coded_kernel = std::move(coded_kernel),
+              .code_lengths = std::move(clustered_lengths)},
       .report = std::move(report)};
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <utility>
 
 #include "util/check.h"
 
@@ -308,8 +309,20 @@ void write_compressed_kernel(ByteWriter& writer,
   writer.write_bytes(kernel.stream);
 }
 
-CompressedKernel read_compressed_kernel(ByteReader& reader) {
-  CompressedKernel kernel;
+namespace {
+
+/// Parsed CompressedKernel fields with the stream still borrowed from
+/// the reader's buffer — the shared front end of the copying
+/// (read_compressed_kernel) and zero-copy (MappedBkcm) read paths.
+struct CompressedKernelRef {
+  std::int64_t out_channels = 0;
+  std::int64_t in_channels = 0;
+  std::size_t stream_bits = 0;
+  std::span<const std::uint8_t> stream;
+};
+
+CompressedKernelRef read_compressed_kernel_ref(ByteReader& reader) {
+  CompressedKernelRef kernel;
   kernel.out_channels = read_channel_count(reader, "stream out_channels");
   kernel.in_channels = read_channel_count(reader, "stream in_channels");
   check(kernel.out_channels * kernel.in_channels <= kMaxModelUnits,
@@ -318,7 +331,34 @@ CompressedKernel read_compressed_kernel(ByteReader& reader) {
   check(stream_bits <= std::numeric_limits<std::size_t>::max() - 7,
         reader.context() + ": implausible stream bit count");
   kernel.stream_bits = static_cast<std::size_t>(stream_bits);
-  kernel.stream = reader.read_bytes((kernel.stream_bits + 7) / 8);
+  kernel.stream = reader.read_span((kernel.stream_bits + 7) / 8);
+  return kernel;
+}
+
+/// Recover the per-codeword lengths of a parsed stream, re-contexted so
+/// a corrupt-behind-valid-crc stream still names the section at fault.
+std::vector<std::uint8_t> scan_lengths_checked(
+    const ByteReader& reader, const CompressedKernelRef& kernel,
+    const GroupedTreeConfig& config) {
+  try {
+    return scan_code_lengths(
+        kernel.stream, kernel.stream_bits,
+        static_cast<std::size_t>(kernel.out_channels * kernel.in_channels),
+        config);
+  } catch (const CheckError& e) {
+    throw CheckError(reader.context() + ": " + e.what());
+  }
+}
+
+}  // namespace
+
+CompressedKernel read_compressed_kernel(ByteReader& reader) {
+  const CompressedKernelRef ref = read_compressed_kernel_ref(reader);
+  CompressedKernel kernel;
+  kernel.out_channels = ref.out_channels;
+  kernel.in_channels = ref.in_channels;
+  kernel.stream_bits = ref.stream_bits;
+  kernel.stream.assign(ref.stream.begin(), ref.stream.end());
   return kernel;
 }
 
@@ -333,14 +373,25 @@ void write_kernel_compression(ByteWriter& writer,
 
 KernelCompression read_kernel_compression(ByteReader& reader) {
   // Member-by-member; coded_kernel stays default-constructed — the
-  // loader rebuilds it by decoding `compressed` with `codec`.
+  // loader rebuilds it by decoding `compressed` with `codec`. The
+  // code-length vector is not stored either: one prefix-only scan of
+  // the stream recovers it (scan_code_lengths), so every loaded
+  // artifact carries lengths just like a freshly compressed one.
   KernelCompression stream{
       .frequencies = read_frequency_table(reader),
       .clustering = read_clustering_result(reader),
       .coded_frequencies = read_frequency_table(reader),
       .codec = read_codec(reader),
-      .compressed = read_compressed_kernel(reader),
-      .coded_kernel = {}};
+      .compressed = {},
+      .coded_kernel = {},
+      .code_lengths = {}};
+  const CompressedKernelRef ref = read_compressed_kernel_ref(reader);
+  stream.compressed.out_channels = ref.out_channels;
+  stream.compressed.in_channels = ref.in_channels;
+  stream.compressed.stream_bits = ref.stream_bits;
+  stream.compressed.stream.assign(ref.stream.begin(), ref.stream.end());
+  stream.code_lengths =
+      scan_lengths_checked(reader, ref, stream.codec.config());
   return stream;
 }
 
@@ -577,70 +628,184 @@ BkcmContents read_bkcm(std::span<const std::uint8_t> file) {
   return read_bkcm(file, inspect_bkcm(file));
 }
 
-BkcmContents read_bkcm(std::span<const std::uint8_t> file,
-                       const BkcmInfo& info) {
-  // Guard against a stale or hand-rolled info: the section rows are
-  // indexed below, so a malformed table must fail here, not as UB.
+namespace {
+
+/// Guard against a stale or hand-rolled info (the section rows are
+/// indexed by the parsers, so a malformed table must fail cleanly).
+void check_v1_info(const BkcmInfo& info) {
   check(info.sections.size() == kNumSections,
         "BKCM: BkcmInfo does not describe a v1 container (expected " +
             std::to_string(kNumSections) + " sections, got " +
             std::to_string(info.sections.size()) + ")");
-  const ByteReader whole(file, "BKCM");
+}
 
-  auto section_reader = [&](int index) {
-    const BkcmSection& section = info.sections[static_cast<std::size_t>(index)];
-    return whole.sub(static_cast<std::size_t>(section.offset),
-                     static_cast<std::size_t>(section.length),
-                     "BKCM section '" + section.name + "'");
-  };
+ByteReader bkcm_section_reader(const ByteReader& whole, const BkcmInfo& info,
+                               int index) {
+  const BkcmSection& section =
+      info.sections[static_cast<std::size_t>(index)];
+  return whole.sub(static_cast<std::size_t>(section.offset),
+                   static_cast<std::size_t>(section.length),
+                   "BKCM section '" + section.name + "'");
+}
 
-  BkcmContents contents;
+/// Everything the 'CONF' section holds; shared by the copying and the
+/// mapped read paths.
+struct ConfSection {
+  bool clustering = true;
+  GroupedTreeConfig tree;
+  ClusteringConfig clustering_config;
+  bnn::ReActNetConfig model_config;
+};
 
-  ByteReader conf = section_reader(0);
+ConfSection parse_conf_section(ByteReader conf, std::uint32_t flags) {
+  ConfSection out;
   const std::uint8_t clustering_mirror = conf.read_u8();
   check(clustering_mirror <= 1,
         conf.context() + ": clustering flag must be 0 or 1");
-  contents.clustering = clustering_mirror == 1;
-  check(contents.clustering ==
-            ((info.flags & kBkcmFlagClustering) != 0),
+  out.clustering = clustering_mirror == 1;
+  check(out.clustering == ((flags & kBkcmFlagClustering) != 0),
         conf.context() + ": clustering flag does not match the header "
                          "flags word (corrupt header)");
-  contents.tree = read_tree_config(conf);
-  contents.clustering_config = read_clustering_config(conf);
-  contents.model_config = read_reactnet_config(conf);
+  out.tree = read_tree_config(conf);
+  out.clustering_config = read_clustering_config(conf);
+  out.model_config = read_reactnet_config(conf);
   conf.expect_exhausted();
+  return out;
+}
 
-  ByteReader rept = section_reader(1);
+std::uint64_t read_blks_stream_count(ByteReader& blks,
+                                     const bnn::ReActNetConfig& config) {
+  const std::uint64_t num_streams = blks.read_varint();
+  check(num_streams == config.blocks.size(),
+        blks.context() + ": stream count " + std::to_string(num_streams) +
+            " does not match the model's " +
+            std::to_string(config.blocks.size()) + " blocks");
+  return num_streams;
+}
+
+/// Every stream codec must use the container's tree config (the writer
+/// always emits them identical); a mismatch means CONF and BLKS
+/// describe different formats — same standard as the mirrored
+/// clustering flag.
+void check_stream_tree(const ByteReader& blks,
+                       const GroupedTreeConfig& stream_tree,
+                       const GroupedTreeConfig& conf_tree,
+                       std::uint64_t index) {
+  check(stream_tree.index_bits == conf_tree.index_bits,
+        blks.context() + ": stream " + std::to_string(index) +
+            " codec tree config does not match the 'CONF' section");
+}
+
+void check_report_covers_streams(std::size_t report_blocks,
+                                 std::size_t num_streams) {
+  check(report_blocks == num_streams,
+        "BKCM section 'REPT': report covers " +
+            std::to_string(report_blocks) +
+            " blocks, the container holds " + std::to_string(num_streams) +
+            " streams");
+}
+
+}  // namespace
+
+BkcmContents read_bkcm(std::span<const std::uint8_t> file,
+                       const BkcmInfo& info) {
+  check_v1_info(info);
+  const ByteReader whole(file, "BKCM");
+
+  BkcmContents contents;
+
+  ConfSection conf = parse_conf_section(bkcm_section_reader(whole, info, 0),
+                                        info.flags);
+  contents.clustering = conf.clustering;
+  contents.tree = std::move(conf.tree);
+  contents.clustering_config = conf.clustering_config;
+  contents.model_config = std::move(conf.model_config);
+
+  ByteReader rept = bkcm_section_reader(whole, info, 1);
   contents.report = read_model_report(rept);
   rept.expect_exhausted();
 
-  ByteReader blks = section_reader(2);
-  const std::uint64_t num_streams = blks.read_varint();
-  check(num_streams == contents.model_config.blocks.size(),
-        blks.context() + ": stream count " + std::to_string(num_streams) +
-            " does not match the model's " +
-            std::to_string(contents.model_config.blocks.size()) +
-            " blocks");
+  ByteReader blks = bkcm_section_reader(whole, info, 2);
+  const std::uint64_t num_streams =
+      read_blks_stream_count(blks, contents.model_config);
   contents.streams.reserve(static_cast<std::size_t>(num_streams));
   for (std::uint64_t b = 0; b < num_streams; ++b) {
     contents.streams.push_back(read_kernel_compression(blks));
-    // Every stream codec must use the container's tree config (the
-    // writer always emits them identical); a mismatch means CONF and
-    // BLKS describe different formats — same standard as the mirrored
-    // clustering flag.
-    check(contents.streams.back().codec.config().index_bits ==
-              contents.tree.index_bits,
-          blks.context() + ": stream " + std::to_string(b) +
-              " codec tree config does not match the 'CONF' section");
+    check_stream_tree(blks, contents.streams.back().codec.config(),
+                      contents.tree, b);
   }
   blks.expect_exhausted();
 
-  check(contents.report.blocks.size() == contents.streams.size(),
-        "BKCM section 'REPT': report covers " +
-            std::to_string(contents.report.blocks.size()) +
-            " blocks, the container holds " +
-            std::to_string(contents.streams.size()) + " streams");
+  check_report_covers_streams(contents.report.blocks.size(),
+                              contents.streams.size());
   return contents;
+}
+
+MappedBkcm MappedBkcm::open(const std::string& path) {
+  MappedBkcm out;
+  out.file_ = MmapFile::open(path);
+  const std::span<const std::uint8_t> file = out.file_.bytes();
+  out.info_ = inspect_bkcm(file);
+  const ByteReader whole(file, "BKCM");
+
+  ConfSection conf = parse_conf_section(
+      bkcm_section_reader(whole, out.info_, 0), out.info_.flags);
+  out.clustering_ = conf.clustering;
+  out.tree_ = std::move(conf.tree);
+  out.clustering_config_ = conf.clustering_config;
+  out.model_config_ = std::move(conf.model_config);
+
+  ByteReader rept = bkcm_section_reader(whole, out.info_, 1);
+  out.report_ = read_model_report(rept);
+  rept.expect_exhausted();
+
+  // BLKS, zero-copy: the small artifacts are parsed into owned storage,
+  // the bitstream stays a span into the mapping, and one prefix-only
+  // scan per stream recovers the code-length vector. No kernel decode.
+  ByteReader blks = bkcm_section_reader(whole, out.info_, 2);
+  const std::uint64_t num_streams =
+      read_blks_stream_count(blks, out.model_config_);
+  out.blocks_.reserve(static_cast<std::size_t>(num_streams));
+  for (std::uint64_t b = 0; b < num_streams; ++b) {
+    Block block{.frequencies = read_frequency_table(blks),
+                .clustering = read_clustering_result(blks),
+                .coded_frequencies = read_frequency_table(blks),
+                .codec = read_codec(blks),
+                .out_channels = 0,
+                .in_channels = 0,
+                .stream = {},
+                .stream_bits = 0,
+                .code_lengths = {}};
+    const CompressedKernelRef kernel = read_compressed_kernel_ref(blks);
+    block.out_channels = kernel.out_channels;
+    block.in_channels = kernel.in_channels;
+    block.stream = kernel.stream;
+    block.stream_bits = kernel.stream_bits;
+    block.code_lengths =
+        scan_lengths_checked(blks, kernel, block.codec.config());
+    check_stream_tree(blks, block.codec.config(), out.tree_, b);
+    out.blocks_.push_back(std::move(block));
+  }
+  blks.expect_exhausted();
+
+  check_report_covers_streams(out.report_.blocks.size(),
+                              out.blocks_.size());
+  return out;
+}
+
+CompressedModelView MappedBkcm::view(std::vector<bnn::OpRecord> ops) const {
+  std::vector<BlockStreamView> blocks;
+  blocks.reserve(blocks_.size());
+  for (const Block& block : blocks_) {
+    blocks.push_back(BlockStreamView{.out_channels = block.out_channels,
+                                     .in_channels = block.in_channels,
+                                     .stream = block.stream,
+                                     .stream_bits = block.stream_bits,
+                                     .code_lengths = block.code_lengths,
+                                     .codec = &block.codec,
+                                     .clustering = &block.clustering});
+  }
+  return assemble_view(std::move(ops), std::move(blocks));
 }
 
 }  // namespace bkc::compress

@@ -37,8 +37,10 @@
 
 #include "bnn/reactnet.h"
 #include "compress/kernel_codec.h"
+#include "compress/model_view.h"
 #include "compress/pipeline.h"
 #include "util/binary_io.h"
+#include "util/mmap_file.h"
 
 namespace bkc::compress {
 
@@ -172,5 +174,74 @@ BkcmInfo inspect_bkcm(std::span<const std::uint8_t> file);
 /// otherwise checksum the whole file twice).
 BkcmContents read_bkcm(std::span<const std::uint8_t> file,
                        const BkcmInfo& info);
+
+// ---- Zero-copy container access ----
+
+/// A BKCM container opened without materializing a model: the file
+/// stays memory-mapped (util/mmap_file.h) and its 'BLKS' section is
+/// exposed as CompressedModelView blocks. Opening validates the header,
+/// section table and CRCs, parses the small sections ('CONF', 'REPT')
+/// and the small per-block artifacts (decode tables, remaps, frequency
+/// statistics), and scans each stream's codeword prefixes for its
+/// code-length vector — but never decodes a kernel and never copies a
+/// bitstream: every BlockStreamView::stream points straight into the
+/// mapping. This is the Sec IV deployment story for the simulator —
+/// `bkcm_tool speedup` runs the full CPU/decoder comparison from a
+/// container file alone.
+///
+/// Lifetime: views returned by view() borrow this object (the mapping
+/// and the owned per-block artifacts). Moving a MappedBkcm keeps all
+/// borrowed addresses valid (the mapping never moves and the per-block
+/// storage is heap-allocated); destroying it invalidates every view.
+class MappedBkcm {
+ public:
+  /// One block of the mapped 'BLKS' section: owned small artifacts plus
+  /// the borrowed stream bytes.
+  struct Block {
+    FrequencyTable frequencies;
+    ClusteringResult clustering;
+    FrequencyTable coded_frequencies;
+    GroupedHuffmanCodec codec;
+    std::int64_t out_channels = 0;
+    std::int64_t in_channels = 0;
+    std::span<const std::uint8_t> stream;  ///< borrowed from the mapping
+    std::size_t stream_bits = 0;
+    std::vector<std::uint8_t> code_lengths;  ///< scanned, owned
+  };
+
+  /// Map `path` and parse it as described above. CheckError (naming the
+  /// path, header or section at fault) on any I/O, structural, checksum
+  /// or payload failure — the same gates as read_bkcm.
+  static MappedBkcm open(const std::string& path);
+
+  const BkcmInfo& info() const { return info_; }
+  /// The raw mapped container image (every Block::stream is a subspan
+  /// of this).
+  std::span<const std::uint8_t> file_bytes() const { return file_.bytes(); }
+  bool clustering() const { return clustering_; }
+  const GroupedTreeConfig& tree() const { return tree_; }
+  const ClusteringConfig& clustering_config() const {
+    return clustering_config_;
+  }
+  const bnn::ReActNetConfig& model_config() const { return model_config_; }
+  const ModelReport& report() const { return report_; }
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// The artifact view over the mapped blocks, paired with `ops` — the
+  /// op-record layout of a model built from model_config() (op records
+  /// depend only on the configuration, never on kernel contents, so any
+  /// such model yields the same layout). The view borrows this object.
+  CompressedModelView view(std::vector<bnn::OpRecord> ops) const;
+
+ private:
+  MmapFile file_;
+  BkcmInfo info_;
+  bool clustering_ = true;
+  GroupedTreeConfig tree_;
+  ClusteringConfig clustering_config_;
+  bnn::ReActNetConfig model_config_;
+  ModelReport report_;
+  std::vector<Block> blocks_;
+};
 
 }  // namespace bkc::compress

@@ -23,6 +23,7 @@
 #include "compress/huffman.h"
 #include "compress/instrumentation.h"
 #include "compress/kernel_codec.h"
+#include "compress/model_view.h"
 #include "compress/pipeline.h"
 #include "compress/serialize.h"
 #include "core/engine.h"
@@ -37,6 +38,7 @@
 #include "util/bitstream.h"
 #include "util/check.h"
 #include "util/cli.h"
+#include "util/mmap_file.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"

@@ -3,6 +3,7 @@
 #include "compress/serialize.h"
 #include "util/binary_io.h"
 #include "util/check.h"
+#include "util/mmap_file.h"
 #include "util/thread_pool.h"
 
 namespace bkc {
@@ -90,8 +91,17 @@ void Engine::save_compressed(const std::string& path) const {
 }
 
 Engine Engine::load_compressed(const std::string& path, int num_threads) {
-  compress::BkcmContents contents =
-      compress::read_bkcm(read_file_bytes(path));
+  // Map rather than read: the container image is parsed in place and
+  // the kernel streams decode straight out of the page cache. The
+  // mapping only has to live for the duration of the parse — every
+  // artifact read_bkcm returns is owned.
+  const MmapFile file = MmapFile::open(path);
+  return load_compressed(file.bytes(), num_threads);
+}
+
+Engine Engine::load_compressed(std::span<const std::uint8_t> file,
+                               int num_threads) {
+  compress::BkcmContents contents = compress::read_bkcm(file);
 
   // Rebuild the uncompressed layers (stem, batch norms, 1x1s,
   // classifier) deterministically from the stored configuration, then
@@ -141,11 +151,18 @@ Engine Engine::load_compressed(const std::string& path, int num_threads) {
   return engine;
 }
 
+compress::CompressedModelView Engine::artifact_view() const {
+  check(compressed_, "Engine::artifact_view: call compress() first");
+  return compress::view_of(model_.op_records(), streams_);
+}
+
 hwsim::SpeedupReport Engine::simulate_speedup(
     const hwsim::CpuParams& cpu, const hwsim::DecoderParams& decoder,
     const hwsim::SamplingParams& sampling) const {
   check(compressed_, "Engine::simulate_speedup: call compress() first");
-  return hwsim::compare_model(model_, compressor_, cpu, decoder, sampling);
+  // The view is built from the streams compress() already produced —
+  // simulating costs zero compression-pipeline work.
+  return hwsim::compare_model(artifact_view(), cpu, decoder, sampling);
 }
 
 const compress::ModelReport& Engine::report() const {

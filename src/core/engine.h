@@ -8,10 +8,13 @@
 // decode bit-exactly, and estimate the hardware-assisted speedup on the
 // A53 timing model. See examples/quickstart.cpp for a tour.
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bnn/reactnet.h"
+#include "compress/model_view.h"
 #include "compress/pipeline.h"
 #include "hwsim/perf_model.h"
 
@@ -87,12 +90,32 @@ class Engine {
   /// file: installed kernels, report() and classification outputs all
   /// match exactly (tests/test_serialize.cpp). CheckError on a
   /// truncated, corrupt or inconsistent container — the message names
-  /// the failing section.
+  /// the failing section. The file is memory-mapped (util/mmap_file.h),
+  /// so the streams decode straight out of the page cache with no
+  /// intermediate copy of the container.
   static Engine load_compressed(const std::string& path,
                                 int num_threads = 1);
 
-  /// Simulate the three execution variants on the timing model.
+  /// Same, from an in-memory container image (the buffered path;
+  /// nothing of `file` is retained after return). The mapped and
+  /// buffered paths produce bit-identical engines
+  /// (tests/test_serialize.cpp pins this).
+  static Engine load_compressed(std::span<const std::uint8_t> file,
+                                int num_threads = 1);
+
+  /// The non-owning artifact view over this engine's compressed state
+  /// (compress/model_view.h): op-record layout plus per-block spans
+  /// over the streams the engine deployed (clustered when clustering is
+  /// enabled, plain encoding otherwise). This is what the hwsim
+  /// simulator consumes; the engine must outlive the view.
   /// Precondition: compress() was called.
+  compress::CompressedModelView artifact_view() const;
+
+  /// Simulate the three execution variants on the timing model, fed by
+  /// artifact_view() — the stream artifacts the engine already holds.
+  /// No compression-pipeline primitive runs (the instrumentation
+  /// counters of compress/instrumentation.h stay flat; enforced by
+  /// tests/test_engine.cpp). Precondition: compress() was called.
   hwsim::SpeedupReport simulate_speedup(
       const hwsim::CpuParams& cpu = {},
       const hwsim::DecoderParams& decoder = {},

@@ -7,11 +7,11 @@
 
 namespace bkc::hwsim {
 
-StreamInfo StreamInfo::from_lengths(std::vector<std::uint8_t> lengths) {
+StreamInfo StreamInfo::over(std::span<const std::uint8_t> lengths) {
   StreamInfo info;
   info.total_bits = std::accumulate(lengths.begin(), lengths.end(),
                                     std::uint64_t{0});
-  info.code_lengths = std::move(lengths);
+  info.code_lengths = lengths;
   return info;
 }
 
@@ -29,7 +29,7 @@ DecoderUnitRuntime::DecoderUnitRuntime(const DecoderParams& params,
                                        std::uint64_t start_cycle)
     : params_(params),
       memory_(&memory),
-      stream_(&stream),
+      stream_(stream),
       group_sizes_(std::move(group_sizes)),
       regs_per_group_(regs_per_group) {
   check(regs_per_group_ >= 1, "DecoderUnitRuntime: regs_per_group >= 1");
@@ -65,7 +65,7 @@ void DecoderUnitRuntime::ensure_group(std::size_t g) {
     }
     std::uint64_t needed_bits = 0;
     for (std::size_t i = 0; i < group_sizes_[group]; ++i) {
-      needed_bits += stream_->code_lengths[next_seq_ + i];
+      needed_bits += stream_.code_lengths[next_seq_ + i];
     }
     // Fetch T-byte chunks until this group's bits are buffered. The
     // streaming unit "sends a new request to fetch more bytes while

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "hwsim/cache.h"
@@ -32,12 +33,31 @@ namespace bkc::hwsim {
 
 /// Static description of one compressed kernel stream: the per-sequence
 /// codeword lengths in stream order (canonical o-major enumeration).
+/// Non-owning — `code_lengths` borrows the artifact that carries the
+/// lengths (compress::KernelCompression::code_lengths, a
+/// BlockStreamView, or an OwnedStreamInfo), which must outlive every
+/// use. The struct itself is two words; pass and copy it freely.
 struct StreamInfo {
-  std::vector<std::uint8_t> code_lengths;  ///< bits per sequence
+  std::span<const std::uint8_t> code_lengths;  ///< bits per sequence
   std::uint64_t total_bits = 0;
 
-  static StreamInfo from_lengths(std::vector<std::uint8_t> lengths);
+  /// Borrow `lengths` and sum the total.
+  static StreamInfo over(std::span<const std::uint8_t> lengths);
   double mean_bits() const;
+};
+
+/// Owning companion for call sites that fabricate or compute a length
+/// vector on the spot (tests, single-kernel demos): holds the vector
+/// and hands out borrowing views over it. Call view() after the object
+/// has reached its final location — the view borrows the heap buffer,
+/// so moving the owner afterwards keeps it valid.
+struct OwnedStreamInfo {
+  std::vector<std::uint8_t> lengths;
+
+  static OwnedStreamInfo from_lengths(std::vector<std::uint8_t> lengths) {
+    return {std::move(lengths)};
+  }
+  StreamInfo view() const { return StreamInfo::over(lengths); }
 };
 
 /// Timing model of one decoding-unit activation (one lddu configuration
@@ -69,7 +89,9 @@ class DecoderUnitRuntime {
 
   DecoderParams params_;
   MemoryHierarchy* memory_;
-  const StreamInfo* stream_;
+  /// Copied in (StreamInfo is a two-word view); the borrowed lengths
+  /// must outlive the runtime.
+  StreamInfo stream_;
   std::vector<std::uint32_t> group_sizes_;
   int regs_per_group_;
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "bnn/kernel_sequences.h"
 #include "util/check.h"
 
 namespace bkc::hwsim {
@@ -113,37 +112,62 @@ double SpeedupReport::conv3x3_hw_speedup() const {
   return static_cast<double>(base) / static_cast<double>(hw);
 }
 
-StreamInfo stream_info_for(const compress::KernelCompression& compression) {
-  const auto sequences = bnn::extract_sequences(compression.coded_kernel);
-  std::vector<std::uint8_t> lengths;
-  lengths.reserve(sequences.size());
-  for (const auto seq : sequences) {
-    lengths.push_back(
-        static_cast<std::uint8_t>(compression.codec.code_length(seq)));
+bool cycles_identical(const SpeedupReport& a, const SpeedupReport& b) {
+  if (a.conv3x3.size() != b.conv3x3.size() ||
+      a.other_cycles != b.other_cycles ||
+      a.total_baseline != b.total_baseline || a.total_sw != b.total_sw ||
+      a.total_hw != b.total_hw) {
+    return false;
   }
-  return StreamInfo::from_lengths(std::move(lengths));
+  for (std::size_t i = 0; i < a.conv3x3.size(); ++i) {
+    if (a.conv3x3[i].name != b.conv3x3[i].name ||
+        a.conv3x3[i].baseline_cycles != b.conv3x3[i].baseline_cycles ||
+        a.conv3x3[i].sw_cycles != b.conv3x3[i].sw_cycles ||
+        a.conv3x3[i].hw_cycles != b.conv3x3[i].hw_cycles) {
+      return false;
+    }
+  }
+  return true;
 }
 
-SpeedupReport compare_model(const bnn::ReActNet& model,
-                            const compress::ModelCompressor& compressor,
+StreamInfo stream_info_for(const compress::KernelCompression& compression) {
+  check(compression.code_lengths.size() ==
+            compression.compressed.num_sequences(),
+        "stream_info_for: artifact code-length vector has " +
+            std::to_string(compression.code_lengths.size()) +
+            " entries for " +
+            std::to_string(compression.compressed.num_sequences()) +
+            " sequences");
+  // The lengths are borrowed, the total is already known: nothing is
+  // recomputed here (their sum is stream_bits by construction).
+  return StreamInfo{.code_lengths = compression.code_lengths,
+                    .total_bits = compression.compressed.stream_bits};
+}
+
+StreamInfo stream_info_for(const compress::BlockStreamView& block) {
+  check(block.code_lengths.size() == block.num_sequences(),
+        "stream_info_for: block view code-length vector has " +
+            std::to_string(block.code_lengths.size()) + " entries for " +
+            std::to_string(block.num_sequences()) + " sequences");
+  return StreamInfo{.code_lengths = block.code_lengths,
+                    .total_bits = block.stream_bits};
+}
+
+SpeedupReport compare_model(const compress::CompressedModelView& view,
                             const CpuParams& cpu,
                             const DecoderParams& decoder,
                             const SamplingParams& sampling) {
   SpeedupReport report;
 
-  // Compressed (clustered) streams for every block's 3x3 kernel.
-  const auto compressions =
-      compressor.compress_blocks(model, /*apply_clustering=*/true);
-
-  const auto ops = model.op_records();
   std::size_t block_index = 0;
-  for (const auto& op : ops) {
+  for (const auto& op : view.ops) {
     const bool is_3x3_binary =
         op.precision_bits == 1 && op.op_class == bnn::OpClass::kConv3x3;
     if (is_3x3_binary) {
-      check(block_index < compressions.size(),
+      check(block_index < view.blocks.size(),
             "compare_model: more 3x3 convs than compressed blocks");
-      const StreamInfo stream = stream_info_for(compressions[block_index]);
+      const StreamInfo stream =
+          stream_info_for(view.blocks[block_index]);
       LayerComparison cmp;
       cmp.name = op.name;
       cmp.baseline_detail = simulate_binary_conv_layer(
@@ -167,7 +191,7 @@ SpeedupReport compare_model(const bnn::ReActNet& model,
       report.other_cycles += analytic_op_cycles(op, cpu);
     }
   }
-  check(block_index == compressions.size(),
+  check(block_index == view.blocks.size(),
         "compare_model: unmatched compressed blocks");
 
   report.total_baseline = report.other_cycles;

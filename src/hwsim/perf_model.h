@@ -10,8 +10,8 @@
 #include <vector>
 
 #include "bnn/model.h"
-#include "bnn/reactnet.h"
-#include "compress/pipeline.h"
+#include "compress/kernel_codec.h"
+#include "compress/model_view.h"
 #include "hwsim/conv_trace.h"
 #include "hwsim/params.h"
 
@@ -74,16 +74,32 @@ struct SpeedupReport {
   double conv3x3_hw_speedup() const;
 };
 
-/// Run the three variants over every 3x3 binary conv of a ReActNet,
-/// using the clustered compressed streams produced by `compressor`.
-SpeedupReport compare_model(const bnn::ReActNet& model,
-                            const compress::ModelCompressor& compressor,
+/// Run the three variants over every op of a compressed model's
+/// artifact view (compress/model_view.h): each 3x3 binary conv is
+/// simulated from its block's code-length vector, everything else from
+/// the op records. The simulator consumes compression artifacts only —
+/// it never runs (or re-runs) a compression pass, whether the view is
+/// backed by an Engine's block_streams() or by a memory-mapped BKCM
+/// container (compress::MappedBkcm). The view's borrowed artifacts must
+/// outlive the call, nothing more.
+SpeedupReport compare_model(const compress::CompressedModelView& view,
                             const CpuParams& cpu = {},
                             const DecoderParams& decoder = {},
                             const SamplingParams& sampling = {});
 
-/// Helper: per-sequence codeword lengths (stream order) of a compressed
-/// kernel, for feeding the decoder-unit timing model.
+/// Cycle-for-cycle equality of two speedup reports: layer names and
+/// every integer cycle field (the totals fix the derived ratios, so
+/// this is exact). Used by the bench/test self-checks that pin
+/// view-backed against recompression-backed or container-backed runs.
+bool cycles_identical(const SpeedupReport& a, const SpeedupReport& b);
+
+/// StreamInfo borrowing the code-length vector the compression pass
+/// already computed (KernelCompression::code_lengths) — nothing is
+/// re-derived; `compression` must outlive the result. CheckError when
+/// the artifact carries no lengths.
 StreamInfo stream_info_for(const compress::KernelCompression& compression);
+
+/// Same, over one block of an artifact view.
+StreamInfo stream_info_for(const compress::BlockStreamView& block);
 
 }  // namespace bkc::hwsim

@@ -157,6 +157,14 @@ std::vector<std::uint8_t> ByteReader::read_bytes(std::size_t count) {
   return out;
 }
 
+std::span<const std::uint8_t> ByteReader::read_span(std::size_t count) {
+  require(count);
+  const std::span<const std::uint8_t> out =
+      bytes_.subspan(position_, count);
+  position_ += count;
+  return out;
+}
+
 std::string ByteReader::read_string(std::size_t max_length) {
   const std::uint64_t length = read_varint();
   check(length <= max_length,

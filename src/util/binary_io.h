@@ -72,6 +72,11 @@ class ByteReader {
   std::uint64_t read_varint();
   /// Copy out `count` raw bytes.
   std::vector<std::uint8_t> read_bytes(std::size_t count);
+  /// Borrow `count` raw bytes without copying: a subspan of the SAME
+  /// underlying buffer, which must outlive every use of the result.
+  /// This is the zero-copy path for bulk payloads (kernel bitstreams)
+  /// when the buffer is a memory-mapped file (util/mmap_file.h).
+  std::span<const std::uint8_t> read_span(std::size_t count);
   /// varint length + raw bytes. `max_length` guards against a corrupt
   /// length field requesting an absurd allocation.
   std::string read_string(std::size_t max_length = 4096);

@@ -1,0 +1,69 @@
+#pragma once
+// Read-only memory-mapped files for the zero-copy container load path.
+//
+// MmapFile::open maps a whole file and exposes it as a byte span; the
+// mapping (and therefore every span or ByteReader derived from it)
+// stays valid until the object is destroyed. On POSIX this is a real
+// mmap — opening a multi-gigabyte BKCM container costs no read() and
+// no heap copy, and the kernel streams are decoded (or, for the hwsim
+// view, merely borrowed) straight out of the page cache. On platforms
+// without mmap the class falls back to a buffered read with the same
+// interface and lifetime rules.
+//
+// Failure (missing file, unreadable file) is a CheckError naming the
+// path, matching read_file_bytes(). An empty file maps to an empty
+// span, not an error.
+//
+// Known limitation shared by every mmap consumer: if another process
+// TRUNCATES the file while it is mapped, touching pages past the new
+// EOF raises SIGBUS — no parser check can turn that into a CheckError.
+// This project's own writers are immune (write_file_bytes stages into a
+// temp file and renames over the target, so an existing mapping keeps
+// its old inode), but a reader mapping a file that other tooling
+// rewrites in place should copy it first (read_file_bytes) instead.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bkc {
+
+/// Move-only owner of one read-only file mapping.
+class MmapFile {
+ public:
+  /// An empty, unmapped instance (bytes() is an empty span).
+  MmapFile() = default;
+
+  /// Map `path` read-only. CheckError (naming the path) when the file
+  /// cannot be opened, stat'ed or mapped.
+  static MmapFile open(const std::string& path);
+
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// The mapped file content. Valid for the lifetime of this object;
+  /// moving the object keeps the span's addresses valid (the mapping
+  /// itself never moves).
+  std::span<const std::uint8_t> bytes() const {
+    return {data_, size_};
+  }
+  std::size_t size() const { return size_; }
+
+ private:
+  void release() noexcept;
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  /// True when `data_` points at an mmap'ed region that must be
+  /// munmap'ed (false for the empty case and the buffered fallback).
+  bool mapped_ = false;
+  /// Buffered fallback storage for platforms without mmap.
+  std::vector<std::uint8_t> fallback_;
+};
+
+}  // namespace bkc

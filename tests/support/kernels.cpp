@@ -1,5 +1,7 @@
 #include "support/kernels.h"
 
+#include <utility>
+
 namespace bkc::test {
 
 bnn::PackedKernel calibrated_kernel(std::int64_t out_channels,
@@ -41,16 +43,19 @@ bnn::OpRecord conv_op(std::int64_t channels, std::int64_t size,
   return op;
 }
 
-hwsim::StreamInfo uniform_stream(std::size_t sequences, std::uint8_t bits) {
-  return hwsim::StreamInfo::from_lengths(
+hwsim::OwnedStreamInfo uniform_stream(std::size_t sequences,
+                                      std::uint8_t bits) {
+  return hwsim::OwnedStreamInfo::from_lengths(
       std::vector<std::uint8_t>(sequences, bits));
 }
 
-hwsim::StreamInfo compressed_stream(std::int64_t channels,
-                                    std::uint64_t seed) {
-  const auto kernel = calibrated_kernel(channels, channels, seed);
-  const auto result = compress::compress_kernel_pipeline(kernel, true);
-  return hwsim::stream_info_for(result);
+hwsim::OwnedStreamInfo compressed_stream(std::int64_t channels,
+                                         std::uint64_t seed) {
+  auto result = compress::compress_kernel_pipeline(
+      calibrated_kernel(channels, channels, seed), true);
+  // Take the pipeline's length vector; the rest of the artifact is not
+  // needed for a timing-model input.
+  return hwsim::OwnedStreamInfo::from_lengths(std::move(result.code_lengths));
 }
 
 bnn::PackedKernel pipeline_round_trip(const bnn::PackedKernel& kernel,

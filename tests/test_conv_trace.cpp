@@ -14,7 +14,7 @@ namespace {
 
 using test::conv_op;
 
-StreamInfo stream_for(std::int64_t channels, std::uint64_t seed) {
+OwnedStreamInfo stream_for(std::int64_t channels, std::uint64_t seed) {
   return test::compressed_stream(channels, seed);
 }
 
@@ -56,7 +56,8 @@ TEST(ConvTrace, CompressedVariantsRequireStream) {
 
 TEST(ConvTrace, StreamLengthMismatchThrows) {
   const auto op = conv_op(64, 8);
-  const auto stream = stream_for(32, 3);  // wrong kernel size
+  const auto owned = stream_for(32, 3);  // wrong kernel size
+  const StreamInfo stream = owned.view();
   EXPECT_THROW(
       simulate_binary_conv_layer(op, ConvVariant::kHwDecode, &stream),
       bkc::CheckError);
@@ -64,7 +65,8 @@ TEST(ConvTrace, StreamLengthMismatchThrows) {
 
 TEST(ConvTrace, SwDecodeIsSlowerThanBaseline) {
   const auto op = conv_op(128, 8);
-  const auto stream = stream_for(128, 5);
+  const auto owned = stream_for(128, 5);
+  const StreamInfo stream = owned.view();
   const auto base = simulate_binary_conv_layer(op, ConvVariant::kBaseline);
   const auto sw =
       simulate_binary_conv_layer(op, ConvVariant::kSwDecode, &stream);
@@ -77,7 +79,8 @@ TEST(ConvTrace, HwDecodeNeverSlowerThanBaselineOnBigLayers) {
   // decoder unit's latency hiding must pay off (the paper's Sec VI
   // speedup mechanism).
   const auto op = conv_op(512, 14);
-  const auto stream = stream_for(512, 7);
+  const auto owned = stream_for(512, 7);
+  const StreamInfo stream = owned.view();
   const auto base = simulate_binary_conv_layer(op, ConvVariant::kBaseline);
   const auto hw =
       simulate_binary_conv_layer(op, ConvVariant::kHwDecode, &stream);
@@ -88,7 +91,8 @@ TEST(ConvTrace, HwDecodeNeverSlowerThanBaselineOnBigLayers) {
 
 TEST(ConvTrace, HwReducesDramTraffic) {
   const auto op = conv_op(512, 14);
-  const auto stream = stream_for(512, 9);
+  const auto owned = stream_for(512, 9);
+  const StreamInfo stream = owned.view();
   const auto base = simulate_binary_conv_layer(op, ConvVariant::kBaseline);
   const auto hw =
       simulate_binary_conv_layer(op, ConvVariant::kHwDecode, &stream);

@@ -65,6 +65,35 @@ TEST(Engine, AccessorsGuardUncompressedState) {
   EXPECT_THROW(engine.block_streams(), CheckError);
   EXPECT_THROW(engine.verify_streams(), CheckError);
   EXPECT_THROW(engine.simulate_speedup(), CheckError);
+  EXPECT_THROW(engine.artifact_view(), CheckError);
+}
+
+TEST(Engine, SimulateSpeedupRunsZeroPipelineWork) {
+  // The whole point of the artifact-view refactor: the simulator
+  // consumes the streams compress() already produced. NO frequency
+  // count, NO clustering search, NO codec build may run during
+  // simulate_speedup (before the refactor it cost a full compress_model
+  // pass per call).
+  Engine engine(test::tiny_config(23));
+  engine.compress();
+  const compress::PipelineCounters before = compress::pipeline_counters();
+  const auto report = engine.simulate_speedup();
+  const compress::PipelineCounters delta =
+      compress::pipeline_counters().delta_since(before);
+  EXPECT_EQ(delta.frequency_counts, 0u);
+  EXPECT_EQ(delta.cluster_sequences_calls, 0u);
+  EXPECT_EQ(delta.grouped_codec_builds, 0u);
+  EXPECT_EQ(report.conv3x3.size(), engine.model().num_blocks());
+}
+
+TEST(Engine, SimulateSpeedupUsesTheDeployedStreams) {
+  // The simulated streams are the engine's own artifacts — feeding the
+  // view to hwsim directly must reproduce simulate_speedup exactly.
+  Engine engine(test::tiny_config(25));
+  engine.compress();
+  const auto via_engine = engine.simulate_speedup();
+  const auto via_view = hwsim::compare_model(engine.artifact_view());
+  EXPECT_TRUE(hwsim::cycles_identical(via_engine, via_view));
 }
 
 TEST(Engine, VerifyStreamsPreconditionNamesTheFix) {

@@ -1,0 +1,90 @@
+// Tests for util/mmap_file.h — the read-only mapping behind the
+// zero-copy BKCM load path.
+
+#include "util/mmap_file.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/binary_io.h"
+#include "util/check.h"
+
+namespace bkc {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(MmapFile, MapsExactlyTheFileBytes) {
+  const std::string path = temp_path("bkc_mmap_basic.bin");
+  std::vector<std::uint8_t> payload;
+  for (int i = 0; i < 3000; ++i) {
+    payload.push_back(static_cast<std::uint8_t>((i * 37 + 11) & 0xff));
+  }
+  write_file_bytes(path, payload);
+
+  const MmapFile mapped = MmapFile::open(path);
+  const std::vector<std::uint8_t> buffered = read_file_bytes(path);
+  ASSERT_EQ(mapped.size(), buffered.size());
+  const auto bytes = mapped.bytes();
+  EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), buffered.begin()));
+  std::remove(path.c_str());
+}
+
+TEST(MmapFile, MissingFileThrowsWithPath) {
+  const std::string path = temp_path("bkc_mmap_no_such_file.bin");
+  try {
+    MmapFile::open(path);
+    FAIL() << "missing file must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MmapFile, EmptyFileIsAnEmptySpan) {
+  const std::string path = temp_path("bkc_mmap_empty.bin");
+  write_file_bytes(path, std::vector<std::uint8_t>{});
+  const MmapFile mapped = MmapFile::open(path);
+  EXPECT_EQ(mapped.size(), 0u);
+  EXPECT_TRUE(mapped.bytes().empty());
+  std::remove(path.c_str());
+}
+
+TEST(MmapFile, MovePreservesTheMapping) {
+  const std::string path = temp_path("bkc_mmap_move.bin");
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5, 6, 7, 8};
+  write_file_bytes(path, payload);
+
+  MmapFile first = MmapFile::open(path);
+  const std::uint8_t* data = first.bytes().data();
+  MmapFile second = std::move(first);
+  // The mapping itself never moves: spans taken before the move stay
+  // valid, and the moved-from object is empty.
+  EXPECT_EQ(second.bytes().data(), data);
+  EXPECT_EQ(second.size(), payload.size());
+  EXPECT_EQ(first.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(second.bytes()[3], 4u);
+
+  MmapFile third;
+  third = std::move(second);
+  EXPECT_EQ(third.size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         third.bytes().begin()));
+  std::remove(path.c_str());
+}
+
+TEST(MmapFile, DefaultConstructedIsEmpty) {
+  const MmapFile file;
+  EXPECT_EQ(file.size(), 0u);
+  EXPECT_TRUE(file.bytes().empty());
+}
+
+}  // namespace
+}  // namespace bkc

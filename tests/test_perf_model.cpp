@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "bnn/kernel_sequences.h"
 #include "support/support.h"
 
 #include "util/check.h"
@@ -14,6 +17,14 @@ namespace {
 
 // width/4 ReActNet: big enough for meaningful per-block statistics.
 using test::mid_config;
+
+/// Engine-style artifact view over a freshly compressed model: the
+/// caller keeps `streams` alive for the view's lifetime.
+compress::CompressedModelView view_for(
+    const bnn::ReActNet& model,
+    const std::vector<compress::KernelCompression>& streams) {
+  return compress::view_of(model.op_records(), streams);
+}
 
 TEST(PerfModel, AnalyticCostsArePositiveAndScale) {
   CpuParams cpu;
@@ -57,7 +68,9 @@ TEST(PerfModel, ModelTimingFractionsSumToOne) {
 TEST(PerfModel, CompareModelShapes) {
   const bnn::ReActNet model(mid_config(5));
   const compress::ModelCompressor compressor;
-  const SpeedupReport report = compare_model(model, compressor);
+  const auto streams =
+      compressor.compress_blocks(model, /*apply_clustering=*/true);
+  const SpeedupReport report = compare_model(view_for(model, streams));
   ASSERT_EQ(report.conv3x3.size(), 13u);
   EXPECT_GT(report.other_cycles, 0u);
   EXPECT_EQ(report.total_baseline,
@@ -76,7 +89,9 @@ TEST(PerfModel, SwSlowerHwNotSlower) {
   // hardware decoding wins (Secs IV-B and VI).
   const bnn::ReActNet model(mid_config(7));
   const compress::ModelCompressor compressor;
-  const SpeedupReport report = compare_model(model, compressor);
+  const auto streams =
+      compressor.compress_blocks(model, /*apply_clustering=*/true);
+  const SpeedupReport report = compare_model(view_for(model, streams));
   EXPECT_GT(report.model_sw_slowdown(), 1.02);
   EXPECT_GT(report.conv3x3_sw_slowdown(), 1.05);
   for (const auto& layer : report.conv3x3) {
@@ -101,10 +116,36 @@ TEST(PerfModel, StreamInfoForMatchesKernel) {
   const StreamInfo stream = stream_info_for(compression);
   EXPECT_EQ(stream.code_lengths.size(), 32u * 32u);
   EXPECT_EQ(stream.total_bits, compression.compressed.stream_bits);
+  // Borrowed, not recomputed: the span aliases the artifact's vector.
+  EXPECT_EQ(stream.code_lengths.data(), compression.code_lengths.data());
   for (const auto len : stream.code_lengths) {
     EXPECT_GE(len, 6);
     EXPECT_LE(len, 12);
   }
+  // And the carried lengths are exactly the per-sequence codec lengths
+  // in stream order (the quantity stream_info_for used to re-derive).
+  const auto sequences = bnn::extract_sequences(compression.coded_kernel);
+  ASSERT_EQ(sequences.size(), stream.code_lengths.size());
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    EXPECT_EQ(stream.code_lengths[i],
+              compression.codec.code_length(sequences[i]));
+  }
+}
+
+TEST(PerfModel, StreamInfoForRejectsArtifactWithoutLengths) {
+  const auto kernel = test::calibrated_kernel(16, 16, 13);
+  auto compression = compress::compress_kernel_pipeline(kernel, true);
+  compression.code_lengths.clear();
+  EXPECT_THROW(stream_info_for(compression), bkc::CheckError);
+}
+
+TEST(PerfModel, CompareModelRejectsMismatchedView) {
+  const bnn::ReActNet model(mid_config(9));
+  const compress::ModelCompressor compressor;
+  auto streams =
+      compressor.compress_blocks(model, /*apply_clustering=*/true);
+  streams.pop_back();  // one stream short of the op layout
+  EXPECT_THROW(view_for(model, streams), bkc::CheckError);
 }
 
 TEST(PerfModel, SpeedupReportGuards) {

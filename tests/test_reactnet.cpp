@@ -170,5 +170,31 @@ TEST(ReActNet, OpRecordLayoutMatchesGolden) {
   test::expect_matches_golden("reactnet_tiny_ops.txt", out.str());
 }
 
+TEST(ReActNet, OpRecordsForMatchesARealModelFieldForField) {
+  // op_records_for stands the model up with layout-only (zero-filled)
+  // weights; because op records depend on shapes alone, every field
+  // must equal the records of a fully sampled model with the same
+  // configuration. This is what lets container tooling feed hwsim
+  // without paying weight generation — the pin here guarantees the
+  // cheap layout can never drift from the real one.
+  for (const auto& config : {test::tiny_config(42), test::mid_config(7)}) {
+    const std::vector<OpRecord> cheap = op_records_for(config);
+    const std::vector<OpRecord> real = ReActNet(config).op_records();
+    ASSERT_EQ(cheap.size(), real.size());
+    for (std::size_t i = 0; i < cheap.size(); ++i) {
+      EXPECT_EQ(cheap[i].name, real[i].name) << i;
+      EXPECT_EQ(cheap[i].op_class, real[i].op_class) << i;
+      EXPECT_EQ(cheap[i].storage_bits, real[i].storage_bits) << i;
+      EXPECT_EQ(cheap[i].macs, real[i].macs) << i;
+      EXPECT_EQ(cheap[i].precision_bits, real[i].precision_bits) << i;
+      EXPECT_TRUE(cheap[i].input_shape == real[i].input_shape) << i;
+      EXPECT_TRUE(cheap[i].output_shape == real[i].output_shape) << i;
+      EXPECT_TRUE(cheap[i].kernel_shape == real[i].kernel_shape) << i;
+      EXPECT_EQ(cheap[i].geometry.stride, real[i].geometry.stride) << i;
+      EXPECT_EQ(cheap[i].geometry.padding, real[i].geometry.padding) << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace bkc::bnn

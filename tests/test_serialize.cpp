@@ -17,13 +17,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bnn/weights.h"
+#include "compress/instrumentation.h"
 #include "core/engine.h"
 #include "support/support.h"
 #include "util/check.h"
@@ -489,6 +492,136 @@ TEST(SerializeGolden, ReaderLoadsTheCheckedInContainer) {
         << "block " << b;
   }
   expect_model_reports_equal(loaded.report(), fresh.report());
+}
+
+// ---- Zero-copy (mapped) load path ----
+
+// Cycle-level equality lives in hwsim::cycles_identical (also used by
+// the bench/speedup self-check); nothing serialize-specific to add.
+
+TEST(SerializeMapped, BufferedAndMappedLoadsAreBitIdentical) {
+  const std::string path =
+      ::testing::TempDir() + "/bkc_mapped_vs_buffered.bkcm";
+  Engine source(test::tiny_config(51));
+  source.compress(2);
+  source.save_compressed(path);
+
+  // Buffered: parse an in-memory copy. Mapped: Engine::load_compressed
+  // maps the file and parses in place.
+  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  const Engine buffered = Engine::load_compressed(
+      std::span<const std::uint8_t>(bytes), 2);
+  const Engine mapped = Engine::load_compressed(path, 2);
+
+  expect_model_reports_equal(mapped.report(), buffered.report());
+  ASSERT_EQ(mapped.model().num_blocks(), buffered.model().num_blocks());
+  for (std::size_t b = 0; b < mapped.model().num_blocks(); ++b) {
+    EXPECT_TRUE(mapped.model().block(b).conv3x3().kernel() ==
+                buffered.model().block(b).conv3x3().kernel())
+        << "block " << b;
+  }
+  bnn::WeightGenerator gen(7);
+  const Tensor image = gen.sample_activation(mapped.model().input_shape());
+  const Tensor score_mapped = mapped.classify(image);
+  const Tensor score_buffered = buffered.classify(image);
+  ASSERT_EQ(score_mapped.data().size(), score_buffered.data().size());
+  for (std::size_t v = 0; v < score_mapped.data().size(); ++v) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(score_mapped.data()[v]),
+              std::bit_cast<std::uint32_t>(score_buffered.data()[v]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeMapped, MappedViewBorrowsTheMappingAndDecodesNothing) {
+  if (test::update_goldens()) GTEST_SKIP() << "golden being regenerated";
+  const std::string path = test::golden_path("reactnet_tiny.bkcm");
+
+  const PipelineCounters before = pipeline_counters();
+  const MappedBkcm mapped = MappedBkcm::open(path);
+  const PipelineCounters delta = pipeline_counters().delta_since(before);
+  // Opening restores decode tables and scans prefixes — none of which
+  // is pipeline work (and no kernel decode happens at all).
+  EXPECT_EQ(delta.frequency_counts, 0u);
+  EXPECT_EQ(delta.cluster_sequences_calls, 0u);
+  EXPECT_EQ(delta.grouped_codec_builds, 0u);
+
+  // Parsed sections agree with the buffered reader.
+  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  const BkcmContents contents = read_bkcm(bytes);
+  EXPECT_EQ(mapped.clustering(), contents.clustering);
+  EXPECT_EQ(mapped.tree().index_bits, contents.tree.index_bits);
+  EXPECT_EQ(mapped.model_config().seed, contents.model_config.seed);
+  expect_model_reports_equal(mapped.report(), contents.report);
+
+  // Every block's stream span points INSIDE the mapping (zero-copy)
+  // and matches the buffered bytes; the scanned code lengths match the
+  // buffered reader's scan.
+  const std::span<const std::uint8_t> image = mapped.file_bytes();
+  ASSERT_EQ(mapped.blocks().size(), contents.streams.size());
+  for (std::size_t b = 0; b < mapped.blocks().size(); ++b) {
+    const MappedBkcm::Block& block = mapped.blocks()[b];
+    const KernelCompression& stream = contents.streams[b];
+    EXPECT_GE(block.stream.data(), image.data());
+    EXPECT_LE(block.stream.data() + block.stream.size(),
+              image.data() + image.size());
+    EXPECT_EQ(block.stream_bits, stream.compressed.stream_bits);
+    ASSERT_EQ(block.stream.size(), stream.compressed.stream.size());
+    EXPECT_TRUE(std::equal(block.stream.begin(), block.stream.end(),
+                           stream.compressed.stream.begin()));
+    EXPECT_EQ(block.code_lengths, stream.code_lengths);
+    expect_codecs_equal(block.codec, stream.codec);
+    expect_clustering_equal(block.clustering, stream.clustering);
+  }
+}
+
+TEST(SerializeMapped, ContainerBackedSpeedupMatchesEngineBacked) {
+  if (test::update_goldens()) GTEST_SKIP() << "golden being regenerated";
+  const std::string path = test::golden_path("reactnet_tiny.bkcm");
+
+  // Engine-backed: load the container, simulate from the engine's
+  // artifact view.
+  const Engine engine = Engine::load_compressed(path, 2);
+  const hwsim::SpeedupReport engine_report = engine.simulate_speedup();
+
+  // Container-backed: map the file, feed hwsim the mapped view — no
+  // engine, no kernel decode, no weight sampling, no pipeline work.
+  const MappedBkcm mapped = MappedBkcm::open(path);
+  const PipelineCounters before = pipeline_counters();
+  const hwsim::SpeedupReport mapped_report = hwsim::compare_model(
+      mapped.view(bnn::op_records_for(mapped.model_config())));
+  const PipelineCounters delta = pipeline_counters().delta_since(before);
+  EXPECT_EQ(delta.frequency_counts, 0u);
+  EXPECT_EQ(delta.cluster_sequences_calls, 0u);
+  EXPECT_EQ(delta.grouped_codec_builds, 0u);
+
+  EXPECT_TRUE(hwsim::cycles_identical(mapped_report, engine_report));
+}
+
+TEST(SerializeMapped, MappedViewFeedsAssembledBlockViews) {
+  const std::string path = ::testing::TempDir() + "/bkc_mapped_spans.bkcm";
+  Engine source(test::tiny_config(53));
+  source.compress();
+  source.save_compressed(path);
+
+  const MappedBkcm mapped = MappedBkcm::open(path);
+  const CompressedModelView view =
+      mapped.view(bnn::op_records_for(mapped.model_config()));
+  ASSERT_EQ(view.blocks.size(), mapped.blocks().size());
+  const std::span<const std::uint8_t> image = mapped.file_bytes();
+  for (std::size_t b = 0; b < view.blocks.size(); ++b) {
+    const BlockStreamView& block = view.blocks[b];
+    // Assembled views alias the mapped blocks, which alias the mapping.
+    EXPECT_EQ(block.stream.data(), mapped.blocks()[b].stream.data());
+    EXPECT_GE(block.stream.data(), image.data());
+    EXPECT_LE(block.stream.data() + block.stream.size(),
+              image.data() + image.size());
+    EXPECT_EQ(block.codec, &mapped.blocks()[b].codec);
+    EXPECT_EQ(block.code_lengths.size(), block.num_sequences());
+  }
+  // An op layout from a different configuration must be rejected.
+  EXPECT_THROW(mapped.view(bnn::op_records_for(test::mid_config(53))),
+               CheckError);
+  std::remove(path.c_str());
 }
 
 }  // namespace
