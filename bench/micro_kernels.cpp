@@ -1,10 +1,24 @@
 // Microbenchmarks (google-benchmark) of the primitive operations:
-// xnor/popcount convolution throughput, codec encode/decode rates,
-// frequency analysis and the bit stream - the building blocks whose
-// costs the timing model abstracts.
+// xnor/popcount convolution throughput (one series per registered
+// kernel variant), codec encode/decode rates (bit-serial reference vs
+// the table-driven multi-symbol path), frequency analysis and the bit
+// stream - the building blocks whose costs the timing model abstracts.
+//
+// Every dispatchable variant is gated by a bit-identity self-check
+// against its scalar reference before any timing runs, so a number in
+// BENCH_kernels.json always describes a *correct* kernel.
+//
+// Custom main: `--json out.json` is shorthand for google-benchmark's
+// --benchmark_out=out.json --benchmark_out_format=json; the checked-in
+// BENCH_kernels.json at the repo root is produced this way.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bnn/bconv_kernels.h"
 #include "core/bkc.h"
 
 namespace {
@@ -18,16 +32,38 @@ bnn::PackedKernel make_kernel(std::int64_t channels, std::uint64_t seed) {
   return gen.sample_kernel3x3(channels, channels, dist);
 }
 
-void BM_BinaryConv3x3(benchmark::State& state) {
+bool bit_identical(const Tensor& a, const Tensor& b) {
+  return a.data().size_bytes() == b.data().size_bytes() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size_bytes()) == 0;
+}
+
+// One series per registered conv kernel, pinned via the override so
+// every variant is measured from the same binary. The 96-channel arg is
+// the tail-mask case (1.5 words per pixel); the others are full words.
+void BM_BinaryConv3x3(benchmark::State& state,
+                      const bnn::ConvKernelInfo& info) {
   const std::int64_t channels = state.range(0);
   const std::int64_t size = 14;
   bnn::WeightGenerator gen(3);
   const auto input =
       bnn::pack_feature(gen.sample_activation({channels, size, size}));
   const auto kernel = make_kernel(channels, 5);
+  const ConvGeometry geometry{.stride = 1, .padding = 1};
+
+  Tensor reference;
+  {
+    bnn::ScopedConvKernelOverride pin(bnn::scalar_conv_kernel());
+    reference = bnn::binary_conv2d(input, kernel, geometry);
+  }
+  bnn::ScopedConvKernelOverride pin(info);
+  if (!bit_identical(bnn::binary_conv2d(input, kernel, geometry),
+                     reference)) {
+    state.SkipWithError("kernel variant is not bit-identical to scalar");
+    return;
+  }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        bnn::binary_conv2d(input, kernel, {.stride = 1, .padding = 1}));
+    benchmark::DoNotOptimize(bnn::binary_conv2d(input, kernel, geometry));
   }
   const auto macs = static_cast<double>(
       channels * channels * 9 * size * size);
@@ -35,7 +71,6 @@ void BM_BinaryConv3x3(benchmark::State& state) {
       macs, benchmark::Counter::kIsIterationInvariantRate,
       benchmark::Counter::kIs1000);
 }
-BENCHMARK(BM_BinaryConv3x3)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_GroupedEncode(benchmark::State& state) {
   const auto kernel = make_kernel(128, 7);
@@ -52,20 +87,30 @@ void BM_GroupedEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_GroupedEncode);
 
-void BM_GroupedDecode(benchmark::State& state) {
+// The two decode paths over the same stream: `scalar` walks the node
+// prefix bit by bit (decode_one), `multi` resolves a 12-bit window per
+// table lookup (compress/multi_decode.h).
+void BM_GroupedDecode(benchmark::State& state, bool multi) {
   const auto kernel = make_kernel(128, 9);
   const auto table = compress::FrequencyTable::from_kernel(kernel);
   const compress::GroupedHuffmanCodec codec(table);
-  const auto compressed = compress::compress_kernel(kernel, codec);
+  const auto sequences = bnn::extract_sequences(kernel);
+  std::size_t bits = 0;
+  const auto stream = codec.encode(sequences, bits);
+  if (codec.decode_scalar(stream, bits, sequences.size()) != sequences ||
+      codec.decode_multi(stream, bits, sequences.size()) != sequences) {
+    state.SkipWithError("decode paths disagree with the encoded input");
+    return;
+  }
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        compress::decompress_kernel(compressed, codec));
+        multi ? codec.decode_multi(stream, bits, sequences.size())
+              : codec.decode_scalar(stream, bits, sequences.size()));
   }
   state.counters["seq/s"] = benchmark::Counter(
-      static_cast<double>(compressed.num_sequences()),
+      static_cast<double>(sequences.size()),
       benchmark::Counter::kIsIterationInvariantRate);
 }
-BENCHMARK(BM_GroupedDecode);
 
 void BM_FullHuffmanDecode(benchmark::State& state) {
   const auto kernel = make_kernel(128, 11);
@@ -115,4 +160,56 @@ void BM_BitstreamWrite(benchmark::State& state) {
 }
 BENCHMARK(BM_BitstreamWrite);
 
+void register_variant_benchmarks() {
+  for (const bnn::ConvKernelInfo& info : bnn::conv_kernels()) {
+    const std::string name = std::string("BM_BinaryConv3x3/") + info.name;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [&info](benchmark::State& state) { BM_BinaryConv3x3(state, info); })
+        ->Arg(64)
+        ->Arg(96)  // tail-mask: channels not a multiple of 64
+        ->Arg(128)
+        ->Arg(256);
+  }
+  for (const bool multi : {false, true}) {
+    const std::string name =
+        std::string("BM_GroupedDecode/") + (multi ? "multi" : "scalar");
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [multi](benchmark::State& state) { BM_GroupedDecode(state, multi); });
+  }
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Translate `--json FILE` into google-benchmark's spelling; everything
+  // else passes through untouched.
+  std::vector<char*> args;
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(argc) + 2);
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      storage.push_back(std::string("--benchmark_out=") + argv[++i]);
+      storage.push_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      storage.push_back("--benchmark_out=" + arg.substr(7));
+      storage.push_back("--benchmark_out_format=json");
+    } else {
+      storage.push_back(arg);
+    }
+  }
+  for (std::string& s : storage) args.push_back(s.data());
+  int args_count = static_cast<int>(args.size());
+
+  register_variant_benchmarks();
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

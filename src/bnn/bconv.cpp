@@ -1,7 +1,6 @@
 #include "bnn/bconv.h"
 
-#include <bit>
-
+#include "bnn/bconv_kernels.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -16,63 +15,21 @@ Tensor binary_conv2d(const PackedFeature& input, const PackedKernel& kernel,
             k_shape.to_string() + ")");
   const FeatureShape out_shape = geometry.output_shape(in_shape, k_shape);
   Tensor out(out_shape);
-
-  const std::int64_t wpp = input.words_per_pixel();
-  check(wpp == kernel.words_per_position(),
+  check(input.words_per_pixel() == kernel.words_per_position(),
         "binary_conv2d: packing mismatch");
-  const std::uint64_t tail = input.tail_mask();
-  // Bits contributed per kernel position: all channels, including the
-  // masked-off lanes of the tail word which are forced to match below.
-  const std::int64_t receptive = k_shape.receptive_size();
 
-  // Output channels are independent (each one reads the shared input and
-  // its own kernel slice, and writes its own output plane), so the outer
-  // loop fans out across threads; every (o, oy, ox) accumulation stays
-  // thread-local, keeping results bit-identical at any thread count.
-  parallel_for(out_shape.channels, current_num_threads(), [&](
-                   std::int64_t o_begin, std::int64_t o_end) {
-  for (std::int64_t o = o_begin; o < o_end; ++o) {
-    for (std::int64_t oy = 0; oy < out_shape.height; ++oy) {
-      const std::int64_t base_y = oy * geometry.stride - geometry.padding;
-      for (std::int64_t ox = 0; ox < out_shape.width; ++ox) {
-        const std::int64_t base_x = ox * geometry.stride - geometry.padding;
-        std::int64_t matches = 0;
-        for (std::int64_t ky = 0; ky < k_shape.kernel_h; ++ky) {
-          const std::int64_t iy = base_y + ky;
-          const bool row_in =
-              iy >= 0 && iy < in_shape.height;
-          for (std::int64_t kx = 0; kx < k_shape.kernel_w; ++kx) {
-            const std::int64_t ix = base_x + kx;
-            const auto w = kernel.at(o, ky, kx);
-            if (row_in && ix >= 0 && ix < in_shape.width) {
-              const auto x = input.at(iy, ix);
-              for (std::int64_t t = 0; t < wpp; ++t) {
-                const std::uint64_t mask =
-                    (t == wpp - 1) ? tail : ~0ULL;
-                const std::uint64_t agree =
-                    ~(w[static_cast<std::size_t>(t)] ^
-                      x[static_cast<std::size_t>(t)]) &
-                    mask;
-                matches += std::popcount(agree);
-              }
-            } else {
-              // Padding: input bits are 0 (-1); agreement happens where
-              // the weight bit is 0 too.
-              for (std::int64_t t = 0; t < wpp; ++t) {
-                const std::uint64_t mask =
-                    (t == wpp - 1) ? tail : ~0ULL;
-                matches +=
-                    std::popcount(~w[static_cast<std::size_t>(t)] & mask);
-              }
-            }
-          }
-        }
-        out.at(o, oy, ox) =
-            static_cast<float>(2 * matches - receptive);
-      }
-    }
-  }
-  });
+  // Dispatch is resolved once, on the calling thread; every chunk runs
+  // the same kernel. Output channels are independent (each one reads
+  // the shared input and its own kernel slice, and writes its own
+  // output plane), so the outer loop fans out across threads; every
+  // kernel accumulates integers per (o, oy, ox) in isolation, keeping
+  // results bit-identical at any thread count *and* for any registered
+  // kernel (the contract tests/test_bconv_simd.cpp enforces).
+  const ConvKernelFn fn = active_conv_kernel().fn;
+  parallel_for(out_shape.channels, current_num_threads(),
+               [&](std::int64_t o_begin, std::int64_t o_end) {
+                 fn(input, kernel, geometry, out, o_begin, o_end);
+               });
   return out;
 }
 

@@ -24,6 +24,11 @@ namespace bkc::bnn {
 /// threads (util/thread_pool.h); results are bit-identical at every
 /// thread count because each output channel is computed independently.
 /// Engine::classify(image, num_threads) is the usual way to set this.
+///
+/// The inner pixel loop dispatches to the widest kernel the CPU
+/// supports (bnn/bconv_kernels.h: AVX2 today, scalar reference
+/// otherwise); every kernel is bit-identical to the scalar path, and
+/// BKC_FORCE_SCALAR / -DBKC_DISABLE_SIMD pin the reference.
 Tensor binary_conv2d(const PackedFeature& input, const PackedKernel& kernel,
                      ConvGeometry geometry);
 

@@ -1,0 +1,103 @@
+#pragma once
+// Dispatchable inner kernels of binary_conv2d.
+//
+// binary_conv2d keeps its shape checks, output allocation and
+// per-output-channel parallel_for fan-out in bconv.cpp; the actual
+// xnor+popcount pixel loop is one of the kernels registered here. The
+// scalar kernel is the reference implementation (the seed's loop,
+// verbatim); wider kernels (AVX2 today, NEON when someone ports the
+// same structure to 128-bit registers) are contractually bit-identical
+// to it for every geometry, channel count and thread count - the
+// accumulation is integer, so "bit-identical" is exact equality, not a
+// tolerance. tests/test_bconv_simd.cpp sweeps that contract across
+// every registered kernel.
+//
+// Fast kernels split the output plane into an interior region - every
+// kernel tap lands in bounds, so the inner loop is branchless and
+// mask-free - and a border rim that reuses the masked scalar per-pixel
+// path. The mask-free interior relies on a bitpack.h layout invariant:
+// storage bits above `channels` in a tail word are always zero in both
+// features and kernels, so the spurious xnor matches they contribute
+// are the *constant* (64 * words - channels) per kernel position,
+// subtracted once per pixel instead of masked once per word.
+
+#include <cstdint>
+#include <span>
+
+#include "bnn/bitpack.h"
+#include "tensor/tensor.h"
+
+namespace bkc::bnn {
+
+/// Compute output channels [o_begin, o_end) of one binary convolution
+/// into `out` (whose shape is the geometry's output shape). Called from
+/// inside binary_conv2d's parallel_for, so implementations must write
+/// only the rows of their channel range. Preconditions (checked by
+/// binary_conv2d before dispatch): input/kernel channels and packing
+/// match, out has the output shape.
+using ConvKernelFn = void (*)(const PackedFeature& input,
+                              const PackedKernel& kernel,
+                              ConvGeometry geometry, Tensor& out,
+                              std::int64_t o_begin, std::int64_t o_end);
+
+/// A registered kernel implementation. `name` is the stable identifier
+/// used by the test suites and the BENCH_kernels.json variant labels.
+struct ConvKernelInfo {
+  const char* name;
+  ConvKernelFn fn;
+};
+
+/// The scalar reference kernel (always available).
+const ConvKernelInfo& scalar_conv_kernel();
+
+/// Every kernel this binary can run on this machine, scalar first,
+/// widest last. A kernel appears only when it was compiled in *and* the
+/// CPU supports it, so each entry is safe to call.
+std::span<const ConvKernelInfo> conv_kernels();
+
+/// The kernel binary_conv2d dispatches to: the widest available, unless
+/// simd::scalar_forced() (BKC_DISABLE_SIMD build, BKC_FORCE_SCALAR env,
+/// ScopedForceScalar) pins the scalar reference or a
+/// ScopedConvKernelOverride pins a specific one.
+const ConvKernelInfo& active_conv_kernel();
+
+/// RAII pin of a specific registered kernel, overriding both the ISA
+/// pick and simd::scalar_forced(). Process-global; the bit-identity
+/// suites and bench/micro_kernels use it to benchmark and diff each
+/// variant from one binary. Establish before fanning out to the pool.
+class ScopedConvKernelOverride {
+ public:
+  explicit ScopedConvKernelOverride(const ConvKernelInfo& kernel);
+  ~ScopedConvKernelOverride();
+  ScopedConvKernelOverride(const ScopedConvKernelOverride&) = delete;
+  ScopedConvKernelOverride& operator=(const ScopedConvKernelOverride&) =
+      delete;
+
+ private:
+  const ConvKernelInfo* previous_;
+};
+
+namespace internal {
+
+/// Matches (agreeing weight/input bit pairs) for one output pixel, with
+/// full spatial-padding and channel-tail masking - the scalar reference
+/// arithmetic. base_y/base_x are the top-left input coordinates of the
+/// kernel window (may be negative or out of bounds; padded taps
+/// contribute where the weight bit is 0). Fast kernels call this for
+/// border pixels so every path shares one definition of the edge math.
+std::int64_t scalar_pixel_matches(const PackedFeature& input,
+                                  const PackedKernel& kernel, std::int64_t o,
+                                  std::int64_t base_y, std::int64_t base_x);
+
+#if defined(BKC_HAVE_AVX2)
+/// The AVX2 kernel (defined in bconv_kernels_avx2.cpp, compiled with
+/// -mavx2). Only registered - and only callable - when
+/// simd::cpu_supports_avx2() is true.
+void conv_kernel_avx2(const PackedFeature& input, const PackedKernel& kernel,
+                      ConvGeometry geometry, Tensor& out,
+                      std::int64_t o_begin, std::int64_t o_end);
+#endif
+
+}  // namespace internal
+
+}  // namespace bkc::bnn

@@ -1,0 +1,226 @@
+// AVX2 xnor+popcount convolution kernel (the daBNN formulation on
+// 256-bit registers). Compiled with -mavx2 -mpopcnt in its own TU so
+// the rest of the library stays baseline-ISA; only registered for
+// dispatch when the running CPU reports AVX2.
+//
+// Structure: interior output pixels - every kernel tap in bounds - run
+// branchless and mask-free; the border rim reuses the masked scalar
+// per-pixel reference. Mask-free works because tail-word lanes above
+// the channel count are zero in both operands (bitpack.h invariant), so
+// each kernel position contributes exactly (64 * words - channels)
+// spurious xnor agreements - a constant subtracted once per pixel.
+//
+// Two interior shapes:
+//   * words_per_pixel == 1, stride 1: four consecutive output columns
+//     per vector op. Their input words are contiguous, and the per-
+//     64-bit-lane _mm256_sad_epu8 sums keep the four pixels' counts in
+//     separate lanes.
+//   * otherwise: one pixel at a time over rows of kernel_w * words
+//     contiguous words (kernel rows and input row segments are both
+//     contiguous in the channel-packed layout).
+//
+// A NEON port would mirror this file one-to-one: vcntq_u8 replaces the
+// nibble-LUT popcount and vpadalq the SAD accumulation; the dispatch
+// registry in bconv_kernels.cpp is ISA-agnostic.
+
+#include <immintrin.h>
+
+#include <bit>
+
+#include "bnn/bconv_kernels.h"
+#include "util/static_switch.h"
+
+namespace bkc::bnn::internal {
+
+namespace {
+
+/// Per-byte popcounts of v (Mula's nibble-LUT shuffle).
+inline __m256i popcount_bytes(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi =
+      _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+inline std::int64_t hsum_epi64(__m256i v) {
+  const __m128i sum = _mm_add_epi64(_mm256_castsi256_si128(v),
+                                    _mm256_extracti128_si256(v, 1));
+  return _mm_cvtsi128_si64(sum) + _mm_extract_epi64(sum, 1);
+}
+
+/// popcount(~(a[i] ^ b[i])) summed over n words, unmasked.
+inline std::int64_t xnor_popcount_row(const std::uint64_t* a,
+                                      const std::uint64_t* b,
+                                      std::int64_t n) {
+  std::int64_t total = 0;
+  std::int64_t i = 0;
+  if (n >= 4) {
+    const __m256i ones = _mm256_set1_epi64x(-1);
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i acc = _mm256_setzero_si256();
+    for (; i + 4 <= n; i += 4) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+      const __m256i agree =
+          _mm256_xor_si256(_mm256_xor_si256(va, vb), ones);
+      acc = _mm256_add_epi64(acc,
+                             _mm256_sad_epu8(popcount_bytes(agree), zero));
+    }
+    total = hsum_epi64(acc);
+  }
+  for (; i < n; ++i) {
+    total += std::popcount(~(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+/// First/last interior output index along one dimension: positions
+/// whose kernel window lies fully inside the input.
+struct InteriorRange {
+  std::int64_t lo;
+  std::int64_t hi;  // exclusive
+};
+
+InteriorRange interior_range(std::int64_t out_extent, std::int64_t in_extent,
+                             std::int64_t k, std::int64_t stride,
+                             std::int64_t padding) {
+  std::int64_t lo = (padding + stride - 1) / stride;
+  const std::int64_t max_base = in_extent - k + padding;
+  std::int64_t hi = max_base >= 0 ? max_base / stride + 1 : 0;
+  if (lo > out_extent) lo = out_extent;
+  if (hi < lo) hi = lo;
+  if (hi > out_extent) hi = out_extent;
+  return {lo, hi};
+}
+
+/// kWpp/kIs3x3 are the BKC_WORDS_SWITCH / BKC_BOOL_SWITCH
+/// monomorphization constants (0 / false = stay runtime-generic): with
+/// both pinned the row loops below have compile-time trip counts and
+/// unroll completely.
+template <int kWpp, bool kIs3x3>
+void conv_avx2_impl(const PackedFeature& input, const PackedKernel& kernel,
+                    ConvGeometry geometry, Tensor& out, std::int64_t o_begin,
+                    std::int64_t o_end) {
+  const FeatureShape& in_shape = input.shape();
+  const KernelShape& k_shape = kernel.shape();
+  const FeatureShape& out_shape = out.shape();
+  const std::int64_t wpp =
+      kWpp > 0 ? kWpp : input.words_per_pixel();
+  const std::int64_t kh = kIs3x3 ? 3 : k_shape.kernel_h;
+  const std::int64_t kw = kIs3x3 ? 3 : k_shape.kernel_w;
+  const std::int64_t stride = geometry.stride;
+  const std::int64_t padding = geometry.padding;
+  const std::int64_t in_w = in_shape.width;
+  const std::int64_t receptive = k_shape.receptive_size();
+  // Constant spurious agreements from the zeroed tail lanes (see file
+  // comment); zero when the channel count fills every word.
+  const std::int64_t spurious =
+      kh * kw * (wpp * kWordBits - in_shape.channels);
+
+  const InteriorRange ry =
+      interior_range(out_shape.height, in_shape.height, kh, stride, padding);
+  const InteriorRange rx =
+      interior_range(out_shape.width, in_w, kw, stride, padding);
+
+  const std::uint64_t* in_base = input.at(0, 0).data();
+  float* out_base = out.data().data();
+
+  const auto emit_border = [&](std::int64_t o, std::int64_t oy,
+                               std::int64_t ox, float* out_row) {
+    const std::int64_t matches = scalar_pixel_matches(
+        input, kernel, o, oy * stride - padding, ox * stride - padding);
+    out_row[ox] = static_cast<float>(2 * matches - receptive);
+  };
+
+  for (std::int64_t o = o_begin; o < o_end; ++o) {
+    // All kh*kw*wpp kernel words of output channel o are contiguous.
+    const std::uint64_t* kbase = kernel.at(o, 0, 0).data();
+    for (std::int64_t oy = 0; oy < out_shape.height; ++oy) {
+      float* out_row =
+          out_base + (o * out_shape.height + oy) * out_shape.width;
+      if (oy < ry.lo || oy >= ry.hi) {
+        for (std::int64_t ox = 0; ox < out_shape.width; ++ox) {
+          emit_border(o, oy, ox, out_row);
+        }
+        continue;
+      }
+      const std::int64_t base_y = oy * stride - padding;
+      for (std::int64_t ox = 0; ox < rx.lo; ++ox) {
+        emit_border(o, oy, ox, out_row);
+      }
+      std::int64_t ox = rx.lo;
+      if (kWpp == 1 && stride == 1) {
+        // Four consecutive output columns per iteration: with one word
+        // per pixel their input words are contiguous, and SAD keeps
+        // each pixel's count in its own 64-bit lane.
+        const __m256i ones = _mm256_set1_epi64x(-1);
+        const __m256i zero = _mm256_setzero_si256();
+        for (; ox + 4 <= rx.hi; ox += 4) {
+          const std::int64_t base_x = ox - padding;
+          __m256i acc = _mm256_setzero_si256();
+          for (std::int64_t ky = 0; ky < kh; ++ky) {
+            const std::uint64_t* row =
+                in_base + (base_y + ky) * in_w + base_x;
+            for (std::int64_t kx = 0; kx < kw; ++kx) {
+              const __m256i w = _mm256_set1_epi64x(
+                  static_cast<long long>(kbase[ky * kw + kx]));
+              const __m256i x = _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(row + kx));
+              const __m256i agree =
+                  _mm256_xor_si256(_mm256_xor_si256(w, x), ones);
+              acc = _mm256_add_epi64(
+                  acc, _mm256_sad_epu8(popcount_bytes(agree), zero));
+            }
+          }
+          alignas(32) std::int64_t lanes[4];
+          _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+          for (int j = 0; j < 4; ++j) {
+            out_row[ox + j] = static_cast<float>(
+                2 * (lanes[j] - spurious) - receptive);
+          }
+        }
+      }
+      // Generic interior pixel (and the <4-column remainder above):
+      // kernel rows and input row segments are contiguous runs of
+      // kw * wpp words.
+      for (; ox < rx.hi; ++ox) {
+        const std::int64_t base_x = ox * stride - padding;
+        std::int64_t raw = 0;
+        for (std::int64_t ky = 0; ky < kh; ++ky) {
+          raw += xnor_popcount_row(
+              kbase + ky * kw * wpp,
+              in_base + ((base_y + ky) * in_w + base_x) * wpp, kw * wpp);
+        }
+        out_row[ox] =
+            static_cast<float>(2 * (raw - spurious) - receptive);
+      }
+      for (std::int64_t bx = rx.hi; bx < out_shape.width; ++bx) {
+        emit_border(o, oy, bx, out_row);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void conv_kernel_avx2(const PackedFeature& input, const PackedKernel& kernel,
+                      ConvGeometry geometry, Tensor& out,
+                      std::int64_t o_begin, std::int64_t o_end) {
+  const KernelShape& k_shape = kernel.shape();
+  BKC_WORDS_SWITCH(input.words_per_pixel(), kWpp, [&] {
+    BKC_BOOL_SWITCH(k_shape.kernel_h == 3 && k_shape.kernel_w == 3, kIs3x3,
+                    [&] {
+                      conv_avx2_impl<kWpp, kIs3x3>(input, kernel, geometry,
+                                                   out, o_begin, o_end);
+                    });
+  });
+}
+
+}  // namespace bkc::bnn::internal

@@ -12,6 +12,13 @@
 // ReActNet channel counts are powers of two >= 32, so at most the first
 // block uses a partial word; the general case is still fully supported
 // and tested.)
+//
+// Layout invariant: storage bits above `channels` in the tail word are
+// always zero - the constructors zero-fill and set_bit touches valid
+// lanes only. The mask-free interior loops of the fast convolution
+// kernels (bnn/bconv_kernels.h) rely on this: with both operands zero
+// there, every masked-off lane contributes a constant xnor agreement
+// instead of needing a per-word mask.
 
 #include <cstdint>
 #include <span>

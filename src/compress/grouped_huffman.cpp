@@ -2,6 +2,7 @@
 
 #include "compress/instrumentation.h"
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace bkc::compress {
 
@@ -76,6 +77,7 @@ GroupedHuffmanCodec::GroupedHuffmanCodec(const FrequencyTable& table,
         tables_[static_cast<std::size_t>(node)].size());
     tables_[static_cast<std::size_t>(node)].push_back(s);
   }
+  multi_ = MultiDecoder(config_.index_bits, tables_);
 }
 
 GroupedHuffmanCodec::GroupedHuffmanCodec(GroupedTreeConfig config,
@@ -100,6 +102,7 @@ GroupedHuffmanCodec::GroupedHuffmanCodec(GroupedTreeConfig config,
       index_[s] = static_cast<std::uint16_t>(i);
     }
   }
+  multi_ = MultiDecoder(config_.index_bits, tables_);
 }
 
 bool GroupedHuffmanCodec::has_code(SeqId s) const {
@@ -160,11 +163,24 @@ std::vector<std::uint8_t> GroupedHuffmanCodec::encode(
 std::vector<SeqId> GroupedHuffmanCodec::decode(
     std::span<const std::uint8_t> stream, std::size_t bit_count,
     std::size_t count) const {
+  if (simd::scalar_forced()) return decode_scalar(stream, bit_count, count);
+  return multi_.decode(stream, bit_count, count);
+}
+
+std::vector<SeqId> GroupedHuffmanCodec::decode_scalar(
+    std::span<const std::uint8_t> stream, std::size_t bit_count,
+    std::size_t count) const {
   BitReader reader(stream, bit_count);
   std::vector<SeqId> out;
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) out.push_back(decode_one(reader));
   return out;
+}
+
+std::vector<SeqId> GroupedHuffmanCodec::decode_multi(
+    std::span<const std::uint8_t> stream, std::size_t bit_count,
+    std::size_t count) const {
+  return multi_.decode(stream, bit_count, count);
 }
 
 std::span<const SeqId> GroupedHuffmanCodec::uncompressed_table(

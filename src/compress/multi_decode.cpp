@@ -1,0 +1,150 @@
+#include "compress/multi_decode.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/static_switch.h"
+
+namespace bkc::compress {
+namespace {
+
+// Bit `pos` of a kWindowBits-wide window value, MSB-first, matching the
+// stream order BitReader::peek_bits returns.
+inline int window_bit(std::uint32_t window, unsigned pos) {
+  return static_cast<int>(
+      (window >> (MultiDecoder::kWindowBits - 1 - pos)) & 1u);
+}
+
+}  // namespace
+
+MultiDecoder::MultiDecoder(std::vector<int> index_bits,
+                           const std::vector<std::vector<SeqId>>& tables)
+    : index_bits_(std::move(index_bits)) {
+  check(!index_bits_.empty(), "MultiDecoder: need at least one node");
+  check(tables.size() == index_bits_.size(),
+        "MultiDecoder: table count does not match the tree shape");
+  table_offset_.reserve(tables.size());
+  table_size_.reserve(tables.size());
+  for (const auto& table : tables) {
+    table_offset_.push_back(static_cast<std::uint32_t>(flat_.size()));
+    table_size_.push_back(static_cast<std::uint32_t>(table.size()));
+    flat_.insert(flat_.end(), table.begin(), table.end());
+  }
+  // A one-node tree is a fixed-width code; decode() never consults the
+  // window table there, so skip the 2^12-entry build.
+  if (num_nodes() > 1) {
+    BKC_NUM_NODES_SWITCH(num_nodes(), kNumNodes,
+                         [&] { build_window<kNumNodes>(); });
+  }
+}
+
+template <int kNumNodes>
+void MultiDecoder::build_window() {
+  const int nodes = kNumNodes == 0 ? num_nodes() : kNumNodes;
+  window_.assign(std::size_t{1} << kWindowBits, Entry{});
+  for (std::uint32_t w = 0; w < (1u << kWindowBits); ++w) {
+    Entry& entry = window_[w];
+    unsigned pos = 0;
+    while (entry.count < kMaxSymbolsPerEntry) {
+      // Parse one codeword starting at `pos`, committing only if it
+      // fits entirely inside the window and hits an occupied table
+      // slot; otherwise the tail is left for the next lookup (or, at
+      // the stream head, for the bit-exact per-symbol fallback).
+      unsigned p = pos;
+      int node = 0;
+      while (node < nodes - 1 && p < kWindowBits && window_bit(w, p)) {
+        ++p;
+        ++node;
+      }
+      if (node < nodes - 1) {
+        if (p >= kWindowBits) break;  // prefix runs off the window
+        ++p;                          // the terminating 0 bit
+      }
+      const auto width =
+          static_cast<unsigned>(index_bits_[static_cast<std::size_t>(node)]);
+      if (p + width > kWindowBits) break;  // index runs off the window
+      std::uint32_t index = 0;
+      for (unsigned b = 0; b < width; ++b) {
+        index = (index << 1) |
+                static_cast<std::uint32_t>(window_bit(w, p + b));
+      }
+      p += width;
+      const auto n = static_cast<std::size_t>(node);
+      if (index >= table_size_[n]) break;  // corrupt: fallback raises
+      entry.seq[entry.count] = flat_[table_offset_[n] + index];
+      entry.bits_after[entry.count] = static_cast<std::uint8_t>(p);
+      ++entry.count;
+      pos = p;
+    }
+  }
+}
+
+std::vector<SeqId> MultiDecoder::decode(std::span<const std::uint8_t> stream,
+                                        std::size_t bit_count,
+                                        std::size_t count) const {
+  check(!index_bits_.empty(), "MultiDecoder: decoder is empty");
+  BitReader reader(stream, bit_count);
+  std::vector<SeqId> out;
+  out.reserve(count);
+  BKC_BOOL_SWITCH(num_nodes() == 1, kSingleNode, [&] {
+    if constexpr (kSingleNode) {
+      decode_fixed_width(reader, count, out);
+    } else {
+      BKC_NUM_NODES_SWITCH(num_nodes(), kNumNodes, [&] {
+        decode_windowed<kNumNodes>(reader, count, out);
+      });
+    }
+  });
+  return out;
+}
+
+template <int kNumNodes>
+void MultiDecoder::decode_windowed(BitReader& reader, std::size_t count,
+                                   std::vector<SeqId>& out) const {
+  std::size_t decoded = 0;
+  while (decoded < count) {
+    if (reader.remaining() >= kWindowBits) {
+      const Entry& entry =
+          window_[static_cast<std::size_t>(reader.peek_bits(kWindowBits))];
+      if (entry.count > 0) {
+        const auto take = static_cast<int>(std::min<std::size_t>(
+            entry.count, count - decoded));
+        for (int i = 0; i < take; ++i) out.push_back(entry.seq[i]);
+        reader.skip_bits(entry.bits_after[take - 1]);
+        decoded += static_cast<std::size_t>(take);
+        continue;
+      }
+    }
+    // Near the stream end, past-the-window codes, or corruption: decode
+    // one symbol exactly like the reference so errors match bit for bit.
+    out.push_back(decode_one_slow<kNumNodes>(reader));
+    ++decoded;
+  }
+}
+
+template <int kNumNodes>
+SeqId MultiDecoder::decode_one_slow(BitReader& reader) const {
+  const int nodes = kNumNodes == 0 ? num_nodes() : kNumNodes;
+  int node = 0;
+  while (node < nodes - 1 && reader.read_bit()) ++node;
+  const auto width =
+      static_cast<unsigned>(index_bits_[static_cast<std::size_t>(node)]);
+  const auto index = static_cast<std::size_t>(reader.read_bits(width));
+  const auto n = static_cast<std::size_t>(node);
+  check(index < table_size_[n],
+        "GroupedHuffmanCodec: corrupt stream (index beyond table)");
+  return flat_[table_offset_[n] + index];
+}
+
+void MultiDecoder::decode_fixed_width(BitReader& reader, std::size_t count,
+                                      std::vector<SeqId>& out) const {
+  const auto width = static_cast<unsigned>(index_bits_[0]);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto index = static_cast<std::size_t>(reader.read_bits(width));
+    check(index < table_size_[0],
+          "GroupedHuffmanCodec: corrupt stream (index beyond table)");
+    out.push_back(flat_[index]);
+  }
+}
+
+}  // namespace bkc::compress

@@ -22,4 +22,15 @@ EngineOptions no_clustering() {
   return options;
 }
 
+std::vector<compress::GroupedTreeConfig> codec_tree_configs() {
+  return {
+      compress::GroupedTreeConfig::paper(),   // capacity 672
+      compress::GroupedTreeConfig::fixed9(),  // capacity 512, fixed width
+      compress::GroupedTreeConfig{{3, 5, 8}}, // capacity 8+32+256 = 296
+      compress::GroupedTreeConfig{{1, 2, 8}}, // capacity 2+4+256 = 262
+      compress::GroupedTreeConfig{{4, 4}},    // capacity 32
+      compress::GroupedTreeConfig{{0, 0, 4}}, // capacity 18, 1-entry nodes
+  };
+}
+
 }  // namespace bkc::test

@@ -7,8 +7,10 @@
 // rely on).
 
 #include <cstdint>
+#include <vector>
 
 #include "bnn/reactnet.h"
+#include "compress/grouped_huffman.h"
 #include "core/engine.h"
 
 namespace bkc::test {
@@ -25,5 +27,12 @@ bnn::ReActNetConfig mid_config(std::uint64_t seed);
 /// Engine options with the Sec III-C clustering pass disabled
 /// (encoding-only mode; inference stays bit-exact).
 EngineOptions no_clustering();
+
+/// Grouped-Huffman tree shapes under test: the paper's config, the
+/// fixed-width baseline, and assorted capacities (tight, tiny,
+/// two-node, 1-entry nodes) that stress prefix handling and partially
+/// filled nodes. Shared by the codec property and multi-symbol decode
+/// suites so both agree on what "all tree shapes" means.
+std::vector<compress::GroupedTreeConfig> codec_tree_configs();
 
 }  // namespace bkc::test

@@ -12,23 +12,16 @@
 #include "bnn/kernel_sequences.h"
 #include "compress/grouped_huffman.h"
 #include "compress/kernel_codec.h"
+#include "support/configs.h"
 #include "util/rng.h"
 
 namespace bkc::compress {
 namespace {
 
-// Tree shapes under test: the paper's config, the fixed-width baseline,
-// and assorted capacities (tight, tiny, two-node) that stress prefix
-// handling and partially filled nodes.
+// Tree shapes under test, shared with the multi-symbol decode suite
+// (tests/support/configs.h).
 std::vector<GroupedTreeConfig> test_configs() {
-  return {
-      GroupedTreeConfig::paper(),            // capacity 672
-      GroupedTreeConfig::fixed9(),           // capacity 512, fixed width
-      GroupedTreeConfig{{3, 5, 8}},          // capacity 8+32+256 = 296
-      GroupedTreeConfig{{1, 2, 8}},          // capacity 2+4+256 = 262
-      GroupedTreeConfig{{4, 4}},             // capacity 32
-      GroupedTreeConfig{{0, 0, 4}},          // capacity 18, 1-entry nodes
-  };
+  return test::codec_tree_configs();
 }
 
 // A random kernel whose distinct sequences are drawn from an alphabet

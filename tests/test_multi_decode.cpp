@@ -1,0 +1,280 @@
+// The decode-path contract of compress/multi_decode.h: the table-driven
+// multi-symbol decoder behaves *identically* to the bit-serial
+// decode_one reference on every stream - valid, truncated or corrupted.
+// Identically means: same sequence of decoded ids, or a CheckError with
+// the same message, for all tree shapes in the shared config list plus
+// the degenerate tables (single distinct symbol, all 512 distinct).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "compress/frequency.h"
+#include "compress/grouped_huffman.h"
+#include "compress/multi_decode.h"
+#include "support/configs.h"
+#include "util/bitstream.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace bkc::compress {
+namespace {
+
+// What one decode attempt did: its output, or the CheckError message
+// with the source-location prefix stripped (the reference and the
+// multi-symbol path raise from different files, but the message text
+// itself must match).
+struct DecodeOutcome {
+  bool threw = false;
+  std::string error;
+  std::vector<SeqId> out;
+
+  bool operator==(const DecodeOutcome& other) const = default;
+};
+
+std::string strip_location(const std::string& what) {
+  // check() formats "<file>:<line>: <message>".
+  const auto line_colon = what.find(':');
+  if (line_colon == std::string::npos) return what;
+  const auto msg_start = what.find(": ", line_colon + 1);
+  if (msg_start == std::string::npos) return what;
+  return what.substr(msg_start + 2);
+}
+
+template <typename Decode>
+DecodeOutcome run_decode(const Decode& decode) {
+  DecodeOutcome outcome;
+  try {
+    outcome.out = decode();
+  } catch (const CheckError& e) {
+    outcome.threw = true;
+    outcome.error = strip_location(e.what());
+  }
+  return outcome;
+}
+
+void expect_paths_identical(const GroupedHuffmanCodec& codec,
+                            std::span<const std::uint8_t> stream,
+                            std::size_t bit_count, std::size_t count,
+                            const std::string& label) {
+  const auto scalar = run_decode(
+      [&] { return codec.decode_scalar(stream, bit_count, count); });
+  const auto multi = run_decode(
+      [&] { return codec.decode_multi(stream, bit_count, count); });
+  EXPECT_EQ(scalar.threw, multi.threw) << label;
+  EXPECT_EQ(scalar.error, multi.error) << label;
+  EXPECT_EQ(scalar.out, multi.out) << label;
+}
+
+std::vector<SeqId> random_sequences(Rng& rng, std::uint64_t capacity,
+                                    std::size_t length) {
+  const auto alphabet_cap =
+      std::min<std::uint64_t>(capacity, bnn::kNumSequences);
+  const auto ids = rng.permutation(bnn::kNumSequences);
+  const std::size_t alphabet =
+      static_cast<std::size_t>(1 + rng.below(alphabet_cap));
+  std::vector<SeqId> sequences;
+  sequences.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    sequences.push_back(static_cast<SeqId>(ids[rng.below(alphabet)]));
+  }
+  return sequences;
+}
+
+TEST(MultiDecode, MatchesScalarOnValidStreams) {
+  for (const GroupedTreeConfig& config : test::codec_tree_configs()) {
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+      Rng rng(0xDEC0DE00 + seed);
+      const auto sequences =
+          random_sequences(rng, config.total_capacity(),
+                           static_cast<std::size_t>(rng.range(1, 300)));
+      const GroupedHuffmanCodec codec(
+          FrequencyTable::from_sequences(sequences), config);
+      std::size_t bit_count = 0;
+      const auto stream = codec.encode(sequences, bit_count);
+      const auto decoded =
+          codec.decode_multi(stream, bit_count, sequences.size());
+      EXPECT_EQ(decoded, sequences)
+          << "nodes " << config.num_nodes() << " seed " << seed;
+      expect_paths_identical(codec, stream, bit_count, sequences.size(),
+                             "valid, nodes " +
+                                 std::to_string(config.num_nodes()) +
+                                 ", seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(MultiDecode, DegenerateTables) {
+  // One distinct symbol repeated (maximum multi-symbol packing: the
+  // shortest configs emit 1-bit codewords) and the full 512-distinct
+  // alphabet (every node of the paper config occupied).
+  for (const GroupedTreeConfig& config : test::codec_tree_configs()) {
+    const std::vector<SeqId> repeated(300, SeqId{257});
+    const GroupedHuffmanCodec codec(FrequencyTable::from_sequences(repeated),
+                                    config);
+    std::size_t bit_count = 0;
+    const auto stream = codec.encode(repeated, bit_count);
+    EXPECT_EQ(codec.decode_multi(stream, bit_count, repeated.size()),
+              repeated);
+    expect_paths_identical(codec, stream, bit_count, repeated.size(),
+                           "repeated, nodes " +
+                               std::to_string(config.num_nodes()));
+  }
+  std::vector<SeqId> distinct(bnn::kNumSequences);
+  for (int s = 0; s < bnn::kNumSequences; ++s) {
+    distinct[static_cast<std::size_t>(s)] = static_cast<SeqId>(s);
+  }
+  for (const GroupedTreeConfig& config :
+       {GroupedTreeConfig::paper(), GroupedTreeConfig::fixed9()}) {
+    const GroupedHuffmanCodec codec(FrequencyTable::from_sequences(distinct),
+                                    config);
+    std::size_t bit_count = 0;
+    const auto stream = codec.encode(distinct, bit_count);
+    EXPECT_EQ(codec.decode_multi(stream, bit_count, distinct.size()),
+              distinct);
+    expect_paths_identical(codec, stream, bit_count, distinct.size(),
+                           "distinct, nodes " +
+                               std::to_string(config.num_nodes()));
+  }
+}
+
+TEST(MultiDecode, TruncatedStreamsRaiseCheckErrorOnBothPaths) {
+  for (const GroupedTreeConfig& config : test::codec_tree_configs()) {
+    Rng rng(0x7274C000 + static_cast<std::uint64_t>(config.num_nodes()));
+    const auto sequences = random_sequences(rng, config.total_capacity(), 60);
+    const GroupedHuffmanCodec codec(FrequencyTable::from_sequences(sequences),
+                                    config);
+    std::size_t bit_count = 0;
+    const auto stream = codec.encode(sequences, bit_count);
+    // Every nonzero truncation leaves the last codeword incomplete
+    // somewhere before `count` symbols, so both paths must throw - and
+    // agree on everything, including how far they got.
+    for (std::size_t cut = 1; cut <= std::min<std::size_t>(bit_count, 40);
+         ++cut) {
+      const std::size_t bits = bit_count - cut;
+      const std::span<const std::uint8_t> view(stream.data(),
+                                               (bits + 7) / 8);
+      const auto scalar = run_decode(
+          [&] { return codec.decode_scalar(view, bits, sequences.size()); });
+      EXPECT_TRUE(scalar.threw) << "cut " << cut;
+      expect_paths_identical(codec, view, bits, sequences.size(),
+                             "truncated by " + std::to_string(cut) +
+                                 ", nodes " +
+                                 std::to_string(config.num_nodes()));
+    }
+  }
+}
+
+TEST(MultiDecode, BitFlippedStreamsBehaveIdentically) {
+  // A flipped bit may re-decode to other valid symbols or hit an
+  // unoccupied table slot; either way the reference and the
+  // multi-symbol path must do exactly the same thing.
+  for (const GroupedTreeConfig& config : test::codec_tree_configs()) {
+    Rng rng(0xF11B000 + static_cast<std::uint64_t>(config.num_nodes()));
+    // A small alphabet leaves most table slots unoccupied, making
+    // corrupt-index outcomes likely alongside silent re-decodes.
+    const auto alphabet_cap =
+        std::min<std::uint64_t>(config.total_capacity(), 5);
+    std::vector<SeqId> sequences;
+    const auto ids = rng.permutation(bnn::kNumSequences);
+    for (int i = 0; i < 80; ++i) {
+      sequences.push_back(static_cast<SeqId>(ids[rng.below(alphabet_cap)]));
+    }
+    const GroupedHuffmanCodec codec(FrequencyTable::from_sequences(sequences),
+                                    config);
+    std::size_t bit_count = 0;
+    auto stream = codec.encode(sequences, bit_count);
+    for (std::size_t bit = 0; bit < bit_count; ++bit) {
+      stream[bit / 8] ^= static_cast<std::uint8_t>(0x80u >> (bit % 8));
+      expect_paths_identical(codec, stream, bit_count, sequences.size(),
+                             "flip bit " + std::to_string(bit) + ", nodes " +
+                                 std::to_string(config.num_nodes()));
+      stream[bit / 8] ^= static_cast<std::uint8_t>(0x80u >> (bit % 8));
+    }
+  }
+}
+
+TEST(MultiDecode, CraftedCorruptIndexRaisesOnBothPaths) {
+  // A partially filled node: the codec below assigns only 3 of node 0's
+  // 32 slots (paper config), so an explicit index 30 is corrupt. Both
+  // paths must raise the exact corrupt-stream message.
+  const GroupedHuffmanCodec sparse(GroupedTreeConfig::paper(),
+                                   {{SeqId{1}, SeqId{2}, SeqId{3}}, {}, {},
+                                    {}});
+  BitWriter writer;
+  writer.write_bits(0, 1);   // node 0 prefix
+  writer.write_bits(30, 5);  // index beyond the 3 occupied slots
+  const auto stream = writer.take();
+  for (auto decode : {&GroupedHuffmanCodec::decode_scalar,
+                       &GroupedHuffmanCodec::decode_multi}) {
+    const auto outcome = run_decode(
+        [&] { return (sparse.*decode)(stream, 6, 1); });
+    EXPECT_TRUE(outcome.threw);
+    EXPECT_EQ(outcome.error,
+              "GroupedHuffmanCodec: corrupt stream (index beyond table)");
+  }
+}
+
+TEST(MultiDecode, SingleNodeCorruptIndexRaisesOnBothPaths) {
+  // The fixed-width specialization (num_nodes == 1) keeps the same
+  // corrupt-index check: occupancy 2, index 5 is beyond the table.
+  const GroupedHuffmanCodec sparse(GroupedTreeConfig{{3}},
+                                   {{SeqId{7}, SeqId{8}}});
+  BitWriter writer;
+  writer.write_bits(5, 3);
+  const auto stream = writer.take();
+  for (auto decode : {&GroupedHuffmanCodec::decode_scalar,
+                       &GroupedHuffmanCodec::decode_multi}) {
+    const auto outcome = run_decode(
+        [&] { return (sparse.*decode)(stream, 3, 1); });
+    EXPECT_TRUE(outcome.threw);
+    EXPECT_EQ(outcome.error,
+              "GroupedHuffmanCodec: corrupt stream (index beyond table)");
+  }
+}
+
+TEST(MultiDecode, DecodeDispatchHonorsScalarForce) {
+  Rng rng(0xD15BA7C4);
+  const auto sequences =
+      random_sequences(rng, GroupedTreeConfig::paper().total_capacity(), 120);
+  const GroupedHuffmanCodec codec(FrequencyTable::from_sequences(sequences));
+  std::size_t bit_count = 0;
+  const auto stream = codec.encode(sequences, bit_count);
+  const auto dispatched = codec.decode(stream, bit_count, sequences.size());
+  EXPECT_EQ(dispatched, sequences);
+  {
+    simd::ScopedForceScalar force;
+    EXPECT_EQ(codec.decode(stream, bit_count, sequences.size()), sequences);
+  }
+}
+
+TEST(MultiDecode, StandaloneDecoderMatchesCodecTables) {
+  // MultiDecoder owns copies of the tables: decoding must keep working
+  // after the codec it was built from is gone (the copyable/movable
+  // guarantee KernelCompression relies on).
+  std::size_t bit_count = 0;
+  std::vector<std::uint8_t> stream;
+  std::vector<SeqId> sequences;
+  MultiDecoder decoder;
+  {
+    Rng rng(0x0C0B1E5);
+    sequences = random_sequences(
+        rng, GroupedTreeConfig::paper().total_capacity(), 90);
+    const GroupedHuffmanCodec codec(
+        FrequencyTable::from_sequences(sequences));
+    stream = codec.encode(sequences, bit_count);
+    std::vector<std::vector<SeqId>> tables;
+    for (int n = 0; n < codec.config().num_nodes(); ++n) {
+      const auto table = codec.uncompressed_table(n);
+      tables.emplace_back(table.begin(), table.end());
+    }
+    decoder = MultiDecoder(codec.config().index_bits, tables);
+  }  // codec destroyed
+  EXPECT_EQ(decoder.decode(stream, bit_count, sequences.size()), sequences);
+}
+
+}  // namespace
+}  // namespace bkc::compress

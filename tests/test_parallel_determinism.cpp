@@ -14,6 +14,7 @@
 #include "compress/pipeline.h"
 #include "core/engine.h"
 #include "support/support.h"
+#include "util/simd.h"
 
 namespace bkc {
 namespace {
@@ -198,6 +199,28 @@ TEST_P(ParallelDeterminism, EngineCompressMatchesSerial) {
                   serial.model().block(b).conv3x3().kernel());
       EXPECT_EQ(parallel.block_streams()[b].compressed.stream,
                 serial.block_streams()[b].compressed.stream);
+    }
+  }
+}
+
+TEST_P(ParallelDeterminism, DispatchedKernelsMatchForcedScalarAtEveryCount) {
+  // The SIMD dispatch layer must not weaken the determinism guarantee:
+  // whatever conv/decode kernels active dispatch picks on this host,
+  // engine results stay bit-identical to the forced-scalar reference
+  // run at every thread count.
+  Engine engine(test::tiny_config(35), options_for(GetParam()));
+  engine.compress();
+  const auto images = test_images(engine.model(), 2, 79);
+  for (const Tensor& image : images) {
+    Tensor reference;
+    {
+      simd::ScopedForceScalar force;
+      reference = engine.classify(image, 1);
+    }
+    for (int threads : kThreadCounts) {
+      expect_bit_identical(engine.classify(image, threads), reference);
+      simd::ScopedForceScalar force;
+      expect_bit_identical(engine.classify(image, threads), reference);
     }
   }
 }
