@@ -7,6 +7,9 @@
 //                    Hamming-1 clustering, kernel/model compression
 //   bkc::hwsim     - ARM-A53-class timing model with the decoding unit
 //   bkc::Engine    - end-to-end facade (core/engine.h)
+//   bkc::serve     - model registry + dynamic-batching scheduler; layered
+//                    ABOVE this umbrella (include serve/registry.h and
+//                    serve/scheduler.h directly)
 
 #include "bnn/bconv.h"
 #include "bnn/binarize.h"

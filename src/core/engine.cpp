@@ -151,6 +151,66 @@ Engine Engine::load_compressed(std::span<const std::uint8_t> file,
   return engine;
 }
 
+Engine Engine::load_compressed(const compress::MappedBkcm& mapped,
+                               int num_threads) {
+  Engine engine(mapped.model_config(),
+                EngineOptions{.clustering = mapped.clustering(),
+                              .tree = mapped.tree(),
+                              .clustering_config = mapped.clustering_config()});
+  const std::vector<compress::MappedBkcm::Block>& blocks = mapped.blocks();
+  const auto num_blocks = static_cast<std::int64_t>(blocks.size());
+  check(blocks.size() == engine.model_.num_blocks(),
+        "Engine::load_compressed: mapped block count does not match the "
+        "model");
+  // The same decode-allocation guard as the buffered path: shapes are
+  // validated against the model before any stream decodes.
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const auto& shape = engine.model_.block(b).conv3x3().kernel().shape();
+    check(blocks[b].out_channels == shape.out_channels &&
+              blocks[b].in_channels == shape.in_channels,
+          "Engine::load_compressed: mapped stream shape for block " +
+              std::to_string(b) + " (" + engine.model_.block(b).name() +
+              ") does not match the model");
+  }
+  // Copy the small per-block artifacts (and the compressed bytes, so
+  // the engine owns everything and outlives the mapping) serially, then
+  // fan the expensive part — the kernel decode — out one stream per
+  // work unit; each unit writes only its own slot, bit-identical to the
+  // serial path.
+  engine.streams_.reserve(blocks.size());
+  for (const compress::MappedBkcm::Block& block : blocks) {
+    compress::CompressedKernel compressed;
+    compressed.out_channels = block.out_channels;
+    compressed.in_channels = block.in_channels;
+    compressed.stream.assign(block.stream.begin(), block.stream.end());
+    compressed.stream_bits = block.stream_bits;
+    engine.streams_.push_back(
+        compress::KernelCompression{.frequencies = block.frequencies,
+                                    .clustering = block.clustering,
+                                    .coded_frequencies = block.coded_frequencies,
+                                    .codec = block.codec,
+                                    .compressed = std::move(compressed),
+                                    .coded_kernel = {},
+                                    .code_lengths = block.code_lengths});
+  }
+  parallel_for(num_blocks, num_threads,
+               [&](std::int64_t begin, std::int64_t end) {
+                 for (std::int64_t b = begin; b < end; ++b) {
+                   const auto i = static_cast<std::size_t>(b);
+                   compress::KernelCompression& stream = engine.streams_[i];
+                   stream.coded_kernel = compress::decompress_kernel(
+                       stream.compressed, stream.codec);
+                 }
+               });
+  for (std::size_t b = 0; b < engine.model_.num_blocks(); ++b) {
+    engine.model_.block(b).conv3x3().set_kernel(
+        engine.streams_[b].coded_kernel);
+  }
+  engine.report_ = mapped.report();
+  engine.compressed_ = true;
+  return engine;
+}
+
 compress::CompressedModelView Engine::artifact_view() const {
   check(compressed_, "Engine::artifact_view: call compress() first");
   return compress::view_of(model_.op_records(), streams_);

@@ -20,6 +20,10 @@
 
 namespace bkc {
 
+namespace compress {
+class MappedBkcm;  // compress/serialize.h
+}
+
 /// Compression knobs for the engine.
 struct EngineOptions {
   /// Run the Sec III-C clustering pass (Table V "Clustering" column)
@@ -101,6 +105,19 @@ class Engine {
   /// buffered paths produce bit-identical engines
   /// (tests/test_serialize.cpp pins this).
   static Engine load_compressed(std::span<const std::uint8_t> file,
+                                int num_threads = 1);
+
+  /// Same, from a container that is ALREADY open as a MappedBkcm — the
+  /// serving hook (serve/registry.h): MappedBkcm::open validated the
+  /// header, section table, CRCs and payloads once, so this overload
+  /// does no second parse and no second checksum walk. The per-block
+  /// artifacts are copied out of the mapped state (the engine owns its
+  /// streams and does not borrow `mapped`, which may be destroyed
+  /// afterwards) and the kernels decode straight from the mapping. The
+  /// result is bit-identical to load_compressed(path) on the same file
+  /// (tests/test_serve_registry.cpp pins engine state, report and
+  /// classification).
+  static Engine load_compressed(const compress::MappedBkcm& mapped,
                                 int num_threads = 1);
 
   /// The non-owning artifact view over this engine's compressed state

@@ -35,6 +35,13 @@ double geomean(std::span<const double> values) {
 double percentile(std::span<const double> values, double p) {
   check(!values.empty(), "percentile of empty span");
   check(p >= 0.0 && p <= 100.0, "percentile p must be in [0, 100]");
+  // NaN breaks the strict weak ordering std::sort requires, silently
+  // missorting the whole sample (and an infinity poisons the
+  // interpolation); latency pipelines feed measured values here, so a
+  // non-finite input is always an upstream bug worth naming.
+  for (double v : values) {
+    check(std::isfinite(v), "percentile requires finite values");
+  }
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
@@ -93,6 +100,10 @@ double top_k_share(std::span<const double> values, std::size_t k) {
 }
 
 void RunningStats::add(double x) {
+  // A single NaN would propagate into min/max/mean irrecoverably (and
+  // min/max comparisons silently drop NaN depending on argument order);
+  // reject it at the boundary instead.
+  check(std::isfinite(x), "RunningStats::add requires a finite sample");
   // Welford's online algorithm.
   if (count_ == 0) {
     min_ = max_ = x;

@@ -19,7 +19,9 @@ double stddev(std::span<const double> values);
 /// Used to aggregate per-layer speedups the way architecture papers do.
 double geomean(std::span<const double> values);
 
-/// Linear-interpolated percentile, p in [0, 100]. Precondition: non-empty.
+/// Linear-interpolated percentile, p in [0, 100]. Precondition:
+/// non-empty, all values finite (a NaN would break the sort's strict
+/// weak ordering and silently missort the sample; CheckError instead).
 double percentile(std::span<const double> values, double p);
 
 /// Shannon entropy in bits of a (not necessarily normalised) histogram.

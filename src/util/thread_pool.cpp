@@ -109,12 +109,25 @@ void parallel_for(
     return;
   }
   ThreadPool::shared().run(chunks, [&](int c) {
-    // Near-equal contiguous chunks; boundaries depend only on
-    // (total, chunks), which is what makes the partition deterministic.
-    const std::int64_t begin = total * c / chunks;
-    const std::int64_t end = total * (c + 1) / chunks;
-    chunk(begin, end);
+    const ChunkBounds bounds = chunk_bounds(total, chunks, c);
+    chunk(bounds.begin, bounds.end);
   });
+}
+
+ChunkBounds chunk_bounds(std::int64_t total, int chunks, int c) {
+  check(total >= 0, "chunk_bounds: total must be >= 0");
+  check(chunks >= 1, "chunk_bounds: chunks must be >= 1");
+  check(c >= 0 && c < chunks, "chunk_bounds: chunk index out of range");
+  // Near-equal contiguous chunks; boundaries depend only on
+  // (total, chunks), which is what makes the partition deterministic.
+  // base <= total / chunks and c < chunks keep every product and sum
+  // below INT64_MAX, so this holds for totals the naive
+  // `total * c / chunks` formula would overflow on.
+  const std::int64_t base = total / chunks;
+  const std::int64_t extra = total % chunks;
+  const std::int64_t begin = c * base + std::min<std::int64_t>(c, extra);
+  const std::int64_t end = begin + base + (c < extra ? 1 : 0);
+  return {begin, end};
 }
 
 int current_num_threads() { return t_num_threads; }

@@ -79,14 +79,28 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// Boundaries of chunk `c` when [0, total) is split into `chunks`
+/// contiguous near-equal pieces: every chunk gets total / chunks
+/// elements and the first total % chunks chunks one extra. A pure
+/// function of (total, chunks, c) - this is the partition parallel_for
+/// hands out - and, unlike the naive `total * c / chunks` formula, free
+/// of intermediate overflow for any total up to INT64_MAX (the naive
+/// product overflows already for modest chunk counts once total nears
+/// INT64_MAX / chunks). Preconditions: total >= 0, 0 <= c < chunks.
+struct ChunkBounds {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+};
+ChunkBounds chunk_bounds(std::int64_t total, int chunks, int c);
+
 /// Split [0, total) into min(num_threads, total) contiguous chunks of
-/// near-equal size (boundaries fixed by (total, num_threads) alone) and
-/// invoke chunk(begin, end) for each, using the shared pool. With
-/// num_threads <= 1, or when already on a pool worker (nested
-/// parallelism), the whole range executes inline on the caller as the
-/// single chunk (0, total) - callers must therefore not key work off
-/// the chunk boundaries themselves, only off the indices inside them.
-/// Precondition: num_threads >= 1.
+/// near-equal size (boundaries fixed by (total, num_threads) alone -
+/// see chunk_bounds) and invoke chunk(begin, end) for each, using the
+/// shared pool. With num_threads <= 1, or when already on a pool worker
+/// (nested parallelism), the whole range executes inline on the caller
+/// as the single chunk (0, total) - callers must therefore not key work
+/// off the chunk boundaries themselves, only off the indices inside
+/// them. Precondition: num_threads >= 1.
 void parallel_for(
     std::int64_t total, int num_threads,
     const std::function<void(std::int64_t begin, std::int64_t end)>& chunk);

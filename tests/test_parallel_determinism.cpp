@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <iterator>
+#include <thread>
 #include <vector>
 
 #include "bnn/weights.h"
@@ -221,6 +223,45 @@ TEST_P(ParallelDeterminism, DispatchedKernelsMatchForcedScalarAtEveryCount) {
       expect_bit_identical(engine.classify(image, threads), reference);
       simd::ScopedForceScalar force;
       expect_bit_identical(engine.classify(image, threads), reference);
+    }
+  }
+}
+
+TEST_P(ParallelDeterminism, ConcurrentClassifyBatchCallersMatchSerial) {
+  // The serving scenario: several user threads drive classify_batch on
+  // the SAME engine concurrently (the shared pool's run mutex
+  // serializes the fan-outs). Every caller — each at a different
+  // thread count — must still get results bit-identical to the serial
+  // path; under the TSan CI job this also proves the concurrent-caller
+  // path is race-free.
+  Engine engine(test::tiny_config(37), options_for(GetParam()));
+  engine.compress();
+  const auto images = test_images(engine.model(), 4, 81);
+
+  std::vector<Tensor> serial;
+  for (const Tensor& image : images) serial.push_back(engine.classify(image));
+
+  constexpr int kRounds = 3;
+  std::vector<std::vector<std::vector<Tensor>>> results(
+      std::size(kThreadCounts));
+  std::vector<std::thread> callers;
+  for (std::size_t t = 0; t < std::size(kThreadCounts); ++t) {
+    callers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        results[t].push_back(
+            engine.classify_batch(images, kThreadCounts[t]));
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+
+  for (std::size_t t = 0; t < std::size(kThreadCounts); ++t) {
+    ASSERT_EQ(results[t].size(), static_cast<std::size_t>(kRounds));
+    for (const std::vector<Tensor>& batch : results[t]) {
+      ASSERT_EQ(batch.size(), serial.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        expect_bit_identical(batch[i], serial[i]);
+      }
     }
   }
 }

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/check.h"
@@ -115,6 +116,36 @@ TEST(Stats, PercentileRejectsOutOfRangeP) {
   const std::vector<double> v{1, 2};
   EXPECT_THROW(percentile(v, -0.5), CheckError);
   EXPECT_THROW(percentile(v, 100.5), CheckError);
+}
+
+TEST(Stats, PercentileRejectsNonFiniteValues) {
+  // Regression: a NaN breaks std::sort's strict weak ordering, so the
+  // old code silently missorted the sample and returned garbage
+  // percentiles. Non-finite input must be a CheckError instead.
+  const std::vector<double> with_nan{1.0, std::nan(""), 3.0};
+  EXPECT_THROW(percentile(with_nan, 50), CheckError);
+  const std::vector<double> with_inf{
+      1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(percentile(with_inf, 99), CheckError);
+  const std::vector<double> with_neg_inf{
+      -std::numeric_limits<double>::infinity(), 2.0};
+  EXPECT_THROW(percentile(with_neg_inf, 1), CheckError);
+}
+
+TEST(RunningStats, RejectsNonFiniteSamples) {
+  // Regression: add(NaN) used to poison min/max/mean for every later
+  // sample. The accumulator now refuses the sample up front and keeps
+  // its state intact.
+  RunningStats rs;
+  rs.add(2.0);
+  EXPECT_THROW(rs.add(std::nan("")), CheckError);
+  EXPECT_THROW(rs.add(std::numeric_limits<double>::infinity()), CheckError);
+  EXPECT_THROW(rs.add(-std::numeric_limits<double>::infinity()), CheckError);
+  // The rejected samples left no trace.
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 2.0);
 }
 
 TEST(Stats, PercentileOfAllEqualValues) {

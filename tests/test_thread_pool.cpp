@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
@@ -138,6 +139,80 @@ TEST(ParallelFor, PartitionIsAFixedFunctionOfTotalAndThreads) {
     expected_begin = end;
   }
   EXPECT_EQ(expected_begin, total);
+}
+
+TEST(ChunkBounds, CoversAnyRangeContiguouslyWithNearEqualChunks) {
+  for (std::int64_t total : {0, 1, 5, 103, 1000}) {
+    for (int chunks : {1, 2, 3, 7, 16}) {
+      std::int64_t expected_begin = 0;
+      for (int c = 0; c < chunks; ++c) {
+        const ChunkBounds bounds = chunk_bounds(total, chunks, c);
+        EXPECT_EQ(bounds.begin, expected_begin)
+            << "total " << total << " chunks " << chunks << " c " << c;
+        EXPECT_GE(bounds.end - bounds.begin, total / chunks);
+        EXPECT_LE(bounds.end - bounds.begin, total / chunks + 1);
+        expected_begin = bounds.end;
+      }
+      EXPECT_EQ(expected_begin, total);
+    }
+  }
+}
+
+TEST(ChunkBounds, NearInt64MaxTotalDoesNotOverflow) {
+  // Regression: the old partition computed total * c / chunks, whose
+  // intermediate product overflows (UB) for any total above
+  // INT64_MAX / chunks. The overflow-free split must keep producing a
+  // contiguous, near-equal cover right up to INT64_MAX.
+  const std::int64_t huge = std::numeric_limits<std::int64_t>::max() - 9;
+  for (int chunks : {2, 3, 7, 16}) {
+    std::int64_t expected_begin = 0;
+    for (int c = 0; c < chunks; ++c) {
+      const ChunkBounds bounds = chunk_bounds(huge, chunks, c);
+      ASSERT_EQ(bounds.begin, expected_begin) << "chunks " << chunks
+                                              << " c " << c;
+      ASSERT_GE(bounds.end, bounds.begin);
+      ASSERT_GE(bounds.end - bounds.begin, huge / chunks);
+      ASSERT_LE(bounds.end - bounds.begin, huge / chunks + 1);
+      expected_begin = bounds.end;
+    }
+    ASSERT_EQ(expected_begin, huge);
+  }
+  // INT64_MAX itself, the absolute worst case.
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  const ChunkBounds last = chunk_bounds(max, 7, 6);
+  EXPECT_EQ(last.end, max);
+}
+
+TEST(ChunkBounds, ParallelForHandsOutTheSameBoundsForHugeTotals) {
+  // parallel_for must survive (and partition correctly for) totals the
+  // old arithmetic overflowed on. The chunks only record their
+  // boundaries - nobody iterates 10^18 elements.
+  const std::int64_t huge = std::numeric_limits<std::int64_t>::max() / 2 + 3;
+  const int threads = 4;
+  std::mutex mutex;
+  std::vector<std::pair<std::int64_t, std::int64_t>> seen;
+  parallel_for(huge, threads, [&](std::int64_t begin, std::int64_t end) {
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.emplace_back(begin, end);
+  });
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 4u);
+  std::int64_t expected_begin = 0;
+  for (int c = 0; c < threads; ++c) {
+    const ChunkBounds bounds = chunk_bounds(huge, threads, c);
+    EXPECT_EQ(seen[static_cast<std::size_t>(c)].first, bounds.begin);
+    EXPECT_EQ(seen[static_cast<std::size_t>(c)].second, bounds.end);
+    EXPECT_EQ(bounds.begin, expected_begin);
+    expected_begin = bounds.end;
+  }
+  EXPECT_EQ(expected_begin, huge);
+}
+
+TEST(ChunkBounds, BadArgumentsThrow) {
+  EXPECT_THROW(chunk_bounds(-1, 2, 0), CheckError);
+  EXPECT_THROW(chunk_bounds(10, 0, 0), CheckError);
+  EXPECT_THROW(chunk_bounds(10, 2, -1), CheckError);
+  EXPECT_THROW(chunk_bounds(10, 2, 2), CheckError);
 }
 
 TEST(ParallelFor, MoreThreadsThanWorkIsSafe) {
