@@ -7,19 +7,35 @@
 // fixed 9-bit baseline, together with the decode-table storage each
 // tree needs (the hardware cost axis).
 
+#include <cmath>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "core/bkc.h"
+
+namespace {
+
+std::string json_number(double v) {
+  std::ostringstream out;
+  out << (std::isfinite(v) ? v : 0.0);
+  return out.str();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace bkc;
 
   // --tiny swaps in the reduced test model so the CTest smoke run of
-  // this binary finishes in milliseconds.
-  const bnn::ReActNet model(has_flag(argc, argv, "--tiny")
-                                ? bnn::tiny_reactnet_config(/*seed=*/42)
-                                : bnn::paper_reactnet_config(/*seed=*/42));
+  // this binary finishes in milliseconds. --json FILE additionally
+  // writes the sweep machine-readably (the codec shoot-out snapshot
+  // BENCH_codecs.json follows the same idiom).
+  const bool tiny = has_flag(argc, argv, "--tiny");
+  const std::string json_path(flag_string_value(argc, argv, "--json", ""));
+  const bnn::ReActNet model(tiny ? bnn::tiny_reactnet_config(/*seed=*/42)
+                                 : bnn::paper_reactnet_config(/*seed=*/42));
 
   struct TreePoint {
     std::string name;
@@ -47,7 +63,9 @@ int main(int argc, char** argv) {
   }
   const double huffman_mean = mean(huffman_ratios);
 
-  for (const auto& tree : trees) {
+  std::ostringstream json_rows;
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    const auto& tree = trees[t];
     const compress::ModelCompressor compressor(tree.config, {});
     const auto report = compressor.analyze(model);
     table.row()
@@ -56,8 +74,28 @@ int main(int argc, char** argv) {
         .add(report.mean_encoding_ratio)
         .add(report.decode_table_bits / report.blocks.size())
         .add(percent_str(report.mean_clustering_ratio / huffman_mean));
+    json_rows << "    {\"tree\": \"" << tree.name << "\""
+              << ", \"mean_clustering_ratio\": "
+              << json_number(report.mean_clustering_ratio)
+              << ", \"mean_encoding_ratio\": "
+              << json_number(report.mean_encoding_ratio)
+              << ", \"table_bits_per_block\": "
+              << report.decode_table_bits / report.blocks.size()
+              << ", \"fraction_of_huffman\": "
+              << json_number(report.mean_clustering_ratio / huffman_mean)
+              << "}" << (t + 1 < trees.size() ? "," : "") << "\n";
   }
   table.print("Simplified-tree ablation over the 13 ReActNet blocks");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    check(static_cast<bool>(out), "ablation_tree: cannot open " + json_path);
+    out << "{\n  \"bench\": \"ablation_tree\",\n  \"model\": \""
+        << (tiny ? "tiny" : "paper") << "\",\n  \"full_huffman_mean\": "
+        << json_number(huffman_mean) << ",\n  \"trees\": [\n"
+        << json_rows.str() << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
 
   std::cout << "\nFull canonical Huffman (optimal prefix code, clustered "
                "alphabet): mean "

@@ -3,18 +3,33 @@
 // plus the whole-model compression (the paper's 1.32x kernels / 1.2x
 // model headline).
 
+#include <cmath>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "core/bkc.h"
+
+namespace {
+
+std::string json_number(double v) {
+  std::ostringstream out;
+  out << (std::isfinite(v) ? v : 0.0);
+  return out.str();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace bkc;
 
   // --tiny swaps in the reduced test model so the CTest smoke run of
-  // this binary finishes in milliseconds.
-  const bnn::ReActNet model(has_flag(argc, argv, "--tiny")
-                                ? bnn::tiny_reactnet_config(/*seed=*/42)
-                                : bnn::paper_reactnet_config(/*seed=*/42));
+  // this binary finishes in milliseconds. --json FILE additionally
+  // writes the per-block ratios machine-readably.
+  const bool tiny = has_flag(argc, argv, "--tiny");
+  const std::string json_path(flag_string_value(argc, argv, "--json", ""));
+  const bnn::ReActNet model(tiny ? bnn::tiny_reactnet_config(/*seed=*/42)
+                                 : bnn::paper_reactnet_config(/*seed=*/42));
   const compress::ModelCompressor compressor;
   const compress::ModelReport report = compressor.analyze(model);
 
@@ -65,5 +80,32 @@ int main(int argc, char** argv) {
   std::cout << " (paper: 65% 25% 8% 0.6%)\n";
   std::cout << "\nSee EXPERIMENTS.md for why the encoding-only column is\n"
                "bounded by Table II consistency.\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    check(static_cast<bool>(out),
+          "table5_compression: cannot open " + json_path);
+    out << "{\n  \"bench\": \"table5_compression\",\n  \"model\": \""
+        << (tiny ? "tiny" : "paper") << "\",\n  \"blocks\": [\n";
+    for (std::size_t b = 0; b < report.blocks.size(); ++b) {
+      const auto& block = report.blocks[b];
+      out << "    {\"block\": " << (b + 1)
+          << ", \"encoding_ratio\": " << json_number(block.encoding_ratio)
+          << ", \"clustering_ratio\": "
+          << json_number(block.clustering_ratio)
+          << ", \"huffman_ratio\": " << json_number(block.huffman_ratio)
+          << ", \"flipped_bit_fraction\": "
+          << json_number(block.flipped_bit_fraction) << "}"
+          << (b + 1 < report.blocks.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"mean_encoding_ratio\": "
+        << json_number(report.mean_encoding_ratio)
+        << ",\n  \"mean_clustering_ratio\": "
+        << json_number(report.mean_clustering_ratio)
+        << ",\n  \"model_ratio\": " << json_number(report.model_ratio)
+        << ",\n  \"model_ratio_with_tables\": "
+        << json_number(report.model_ratio_with_tables) << "\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
   return 0;
 }

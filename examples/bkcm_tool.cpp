@@ -6,6 +6,7 @@
 //
 //   ./examples/bkcm_tool compress [--out model.bkcm] [--tiny] [--seed S]
 //                                 [--threads N] [--no-clustering]
+//                                 [--codec <name>]
 //   ./examples/bkcm_tool info     [--file model.bkcm]
 //   ./examples/bkcm_tool verify   [--file model.bkcm] [--threads N]
 //   ./examples/bkcm_tool classify [--file model.bkcm] [--images N]
@@ -23,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "compress/block_codec.h"
 #include "core/bkc.h"
 
 namespace {
@@ -51,6 +53,10 @@ int run_compress(int argc, char** argv) {
                                    : bnn::paper_reactnet_config(seed);
   EngineOptions options;
   options.clustering = !has_flag(argc, argv, "--no-clustering");
+  // Any name the block-codec registry knows; block_codec_id rejects
+  // unknown names with the registered list in the message.
+  options.codec_id = compress::block_codec_id(
+      flag_string_value(argc, argv, "--codec", "grouped-huffman"));
 
   Engine engine(config, options);
   const auto& report = engine.compress(num_threads);
@@ -94,6 +100,21 @@ int run_info(int argc, char** argv) {
             << config.input_channels << "x" << config.input_size << "x"
             << config.input_size << ", " << config.num_classes
             << " classes, seed " << config.seed << "\n";
+
+  // Per-block codec dispatch summary (v1 blocks are implicitly
+  // grouped-huffman; the reader already gated every id against the
+  // registry, so codec_for cannot fail here).
+  Table codecs({"block", "codec id", "codec", "sequences", "stream bits"});
+  for (std::size_t b = 0; b < contents.streams.size(); ++b) {
+    const compress::KernelCompression& stream = contents.streams[b];
+    codecs.row()
+        .add(std::to_string(b))
+        .add(std::to_string(stream.codec_id))
+        .add(std::string(compress::codec_for(stream.codec_id).name()))
+        .add(std::to_string(stream.compressed.num_sequences()))
+        .add(std::to_string(stream.compressed.stream_bits));
+  }
+  codecs.print("Per-block codecs");
   std::cout << "report: encoding " << ratio_str(contents.report.mean_encoding_ratio)
             << ", clustering " << ratio_str(contents.report.mean_clustering_ratio)
             << ", whole model " << ratio_str(contents.report.model_ratio)
@@ -104,13 +125,15 @@ int run_info(int argc, char** argv) {
 int run_verify(int argc, char** argv) {
   // The original weights are not stored, so verification means
   // cross-checking the container's INDEPENDENT artifacts against each
-  // other (not decode-vs-what-decode-installed, which is circular):
-  //   1. the decoded stream's sequence counts must reproduce the stored
-  //      coded_frequencies table,
-  //   2. the stored remap applied to the stored pre-clustering
-  //      frequencies must also yield coded_frequencies,
-  // then a full Engine::load_compressed exercises the header/CRC/shape
-  // gates and the public decode path end to end.
+  // other (not decode-vs-what-decode-installed, which is circular).
+  // What "consistent" means is codec-specific — the grouped-huffman
+  // backend checks the decoded stream and the stored remap against the
+  // frequency tables, mst-delta checks its dictionary instead — so each
+  // block dispatches to its codec's verify_artifact. The reader already
+  // rejected any codec id outside the registry (the plausibility gate:
+  // a CRC-valid hostile v2 file cannot select an unregistered codec).
+  // Afterwards a full Engine::load_compressed exercises the
+  // header/CRC/shape gates and the public decode path end to end.
   const std::string path(
       flag_string_value(argc, argv, "--file", "model.bkcm"));
   const int num_threads = positive_flag_value(argc, argv, "--threads", 2);
@@ -119,18 +142,7 @@ int run_verify(int argc, char** argv) {
   const compress::BkcmContents contents = compress::read_bkcm(file);
   for (std::size_t b = 0; b < contents.streams.size(); ++b) {
     const compress::KernelCompression& stream = contents.streams[b];
-    const std::vector<compress::SeqId> decoded = stream.codec.decode(
-        stream.compressed.stream, stream.compressed.stream_bits,
-        stream.compressed.num_sequences());
-    const auto observed = compress::FrequencyTable::from_sequences(decoded);
-    check(observed.counts() == stream.coded_frequencies.counts(),
-          "bkcm_tool verify: block " + std::to_string(b) +
-              ": decoded stream does not reproduce the stored frequency "
-              "table (tampered stream?)");
-    const auto remapped = stream.clustering.apply(stream.frequencies);
-    check(remapped.counts() == stream.coded_frequencies.counts(),
-          "bkcm_tool verify: block " + std::to_string(b) +
-              ": stored remap and frequency tables are inconsistent");
+    compress::codec_for(stream.codec_id).verify_artifact(stream, b);
   }
 
   // End-to-end load gate (CRC, shape checks, decode-and-install through
@@ -140,8 +152,8 @@ int run_verify(int argc, char** argv) {
   // these very streams — so it is not called.
   const Engine engine = Engine::load_compressed(path, num_threads);
   std::cout << path << ": verified (" << engine.report().blocks.size()
-            << " blocks; streams reproduce the stored frequency tables, "
-               "remaps are consistent, container loads cleanly)\n";
+            << " blocks; every stream passed its codec's artifact "
+               "cross-checks, container loads cleanly)\n";
   return 0;
 }
 
@@ -213,7 +225,7 @@ int run_speedup(int argc, char** argv) {
 int usage() {
   std::cerr << "usage: bkcm_tool <compress|info|verify|classify|speedup> "
                "[--out|--file <path>] [--tiny] [--seed S] [--threads N] "
-               "[--images N] [--no-clustering]\n";
+               "[--images N] [--no-clustering] [--codec <name>]\n";
   return 2;
 }
 

@@ -44,6 +44,12 @@ GroupedTreeConfig GroupedTreeConfig::fixed9() {
   return {.index_bits = {bnn::kSeqBits}};
 }
 
+GroupedHuffmanCodec::GroupedHuffmanCodec() {
+  node_.fill(-1);
+  tables_.resize(static_cast<std::size_t>(config_.num_nodes()));
+  multi_ = MultiDecoder(config_.index_bits, tables_);
+}
+
 GroupedHuffmanCodec::GroupedHuffmanCodec(const FrequencyTable& table,
                                          GroupedTreeConfig config)
     : config_(std::move(config)) {

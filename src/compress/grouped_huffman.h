@@ -53,6 +53,12 @@ struct GroupedTreeConfig {
 /// filling nodes in rank order.
 class GroupedHuffmanCodec {
  public:
+  /// An inert codec (paper tree shape, every table empty, no sequence
+  /// has a codeword). The value a KernelCompression carries when its
+  /// block was produced by a non-grouped codec. Does not bump the
+  /// instrumentation build counter: nothing was built from data.
+  GroupedHuffmanCodec();
+
   /// Build from counts. All sequences with non-zero count must fit in
   /// the total capacity (the paper's config has capacity 672 >= 512, so
   /// this always holds there); zero-count sequences are assigned

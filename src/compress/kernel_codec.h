@@ -13,8 +13,15 @@
 #include "bnn/bitpack.h"
 #include "compress/clustering.h"
 #include "compress/grouped_huffman.h"
+#include "compress/mst_codec.h"
 
 namespace bkc::compress {
+
+/// Block-codec identifiers, stable on disk (BKCM v2 stores one per
+/// block). The registry lives in compress/block_codec.h; adding a
+/// backend means claiming the next id here and registering it there.
+inline constexpr std::uint32_t kCodecGroupedHuffman = 1;
+inline constexpr std::uint32_t kCodecMstDelta = 2;
 
 /// A 3x3 binary kernel in compressed form. Mirrors the hardware
 /// configuration structure of Table III: number of sequences, pointer
@@ -62,10 +69,16 @@ bnn::PackedKernel decompress_kernel(const CompressedKernel& compressed,
 /// clustering -> codec -> stream), used by examples and tests that work
 /// on a single kernel rather than a whole model.
 struct KernelCompression {
+  /// Which block codec produced (and can decode) `compressed`. Grouped
+  /// Huffman artifacts populate `codec`; MST-delta artifacts populate
+  /// `mst` (with `codec` left inert). Dispatch on this id via
+  /// compress/block_codec.h.
+  std::uint32_t codec_id = kCodecGroupedHuffman;
   FrequencyTable frequencies;        ///< before clustering
   ClusteringResult clustering;       ///< identity when disabled
   FrequencyTable coded_frequencies;  ///< after clustering
   GroupedHuffmanCodec codec;
+  MstDictionary mst;  ///< populated only when codec_id == kCodecMstDelta
   CompressedKernel compressed;
   /// The kernel the stream actually encodes (clustered when enabled).
   bnn::PackedKernel coded_kernel;

@@ -1,0 +1,181 @@
+#include "compress/mst_codec.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <limits>
+
+#include "bnn/bitseq.h"
+#include "util/bitstream.h"
+#include "util/check.h"
+
+namespace bkc::compress {
+
+namespace {
+
+unsigned width_for_entries(std::size_t entries) {
+  if (entries <= 1) return 1;
+  return static_cast<unsigned>(std::bit_width(entries - 1));
+}
+
+}  // namespace
+
+MstDictionary MstDictionary::build(const FrequencyTable& table) {
+  check(table.total() > 0, "MstDictionary: frequency table is empty");
+
+  // Prim's algorithm over the distinct sequences, seeded at the most
+  // frequent one. `ranked()` breaks count ties by ascending id, so the
+  // whole construction is deterministic.
+  const SeqId root = table.ranked().front();
+
+  MstDictionary dict;
+  dict.sequences_.push_back(root);
+  dict.index_map_[root] = 0;
+
+  // best_dist[s] / best_parent[s]: the cheapest known attachment of the
+  // not-yet-attached sequence s to the growing tree. Updated after each
+  // attachment; ties keep the smallest parent index (the update below
+  // only replaces on strictly smaller distance, and parents are visited
+  // in ascending index order).
+  std::array<int, bnn::kNumSequences> best_dist;
+  std::array<std::int32_t, bnn::kNumSequences> best_parent;
+  best_dist.fill(std::numeric_limits<int>::max());
+  best_parent.fill(-1);
+
+  std::vector<SeqId> pending;
+  for (int s = 0; s < bnn::kNumSequences; ++s) {
+    const SeqId seq = static_cast<SeqId>(s);
+    if (seq == root || table.count(seq) == 0) continue;
+    pending.push_back(seq);
+    best_dist[static_cast<std::size_t>(s)] = bnn::hamming_distance(seq, root);
+    best_parent[static_cast<std::size_t>(s)] = 0;
+  }
+
+  while (!pending.empty()) {
+    // Pick the attachment minimizing (distance, parent index, seq id).
+    // `pending` stays in ascending id order, so the first strict
+    // improvement wins all three tie-breaks at once.
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+      const std::size_t a = pending[i];
+      const std::size_t b = pending[pick];
+      if (best_dist[a] < best_dist[b] ||
+          (best_dist[a] == best_dist[b] && best_parent[a] < best_parent[b])) {
+        pick = i;
+      }
+    }
+    const SeqId seq = pending[pick];
+    const std::int32_t parent = best_parent[seq];
+    const SeqId parent_seq =
+        dict.sequences_[static_cast<std::size_t>(parent)];
+    const std::int32_t index =
+        static_cast<std::int32_t>(dict.sequences_.size());
+    dict.sequences_.push_back(seq);
+    dict.index_map_[seq] = index;
+    dict.edges_.push_back(MstEdge{
+        .parent = static_cast<std::uint16_t>(parent),
+        .delta = static_cast<std::uint16_t>(seq ^ parent_seq),
+    });
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    for (const SeqId other : pending) {
+      const int dist = bnn::hamming_distance(other, seq);
+      if (dist < best_dist[other]) {
+        best_dist[other] = dist;
+        best_parent[other] = index;
+      }
+    }
+  }
+  return dict;
+}
+
+MstDictionary MstDictionary::from_edges(SeqId root,
+                                        std::vector<MstEdge> edges) {
+  check(root < bnn::kNumSequences, "MstDictionary: root sequence out of range");
+  check(edges.size() < bnn::kNumSequences,
+        "MstDictionary: more edges than distinct sequences");
+
+  MstDictionary dict;
+  dict.sequences_.reserve(edges.size() + 1);
+  dict.sequences_.push_back(root);
+  dict.index_map_[root] = 0;
+  for (const MstEdge& edge : edges) {
+    check(edge.parent < dict.sequences_.size(),
+          "MstDictionary: edge parent is not an earlier entry");
+    check(edge.delta > 0 && edge.delta < bnn::kNumSequences,
+          "MstDictionary: edge delta out of range");
+    const SeqId seq =
+        static_cast<SeqId>(dict.sequences_[edge.parent] ^ edge.delta);
+    check(dict.index_map_[seq] < 0,
+          "MstDictionary: duplicate sequence in dictionary");
+    dict.index_map_[seq] = static_cast<std::int32_t>(dict.sequences_.size());
+    dict.sequences_.push_back(seq);
+  }
+  dict.edges_ = std::move(edges);
+  return dict;
+}
+
+SeqId MstDictionary::root() const {
+  check(!empty(), "MstDictionary: root() on an empty dictionary");
+  return sequences_[0];
+}
+
+std::uint16_t MstDictionary::index_of(SeqId s) const {
+  check(contains(s), "MstDictionary: sequence not in dictionary");
+  return static_cast<std::uint16_t>(index_map_[s]);
+}
+
+bool MstDictionary::contains(SeqId s) const {
+  return s < bnn::kNumSequences && index_map_[s] >= 0;
+}
+
+unsigned MstDictionary::index_width() const {
+  return width_for_entries(sequences_.size());
+}
+
+std::uint64_t MstDictionary::table_bits() const {
+  std::uint64_t bits = empty() ? 0 : bnn::kSeqBits;  // the raw root
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    // Entry i + 1: a parent index in [0, i], a 4-bit flip count, and a
+    // 4-bit position per flipped weight.
+    bits += width_for_entries(i + 1);
+    bits += 4u + 4u * static_cast<unsigned>(
+                          bnn::seq_popcount(edges_[i].delta));
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> mst_encode(std::span<const SeqId> sequences,
+                                     const MstDictionary& dictionary,
+                                     std::size_t& bit_count) {
+  const unsigned width = dictionary.index_width();
+  BitWriter writer;
+  for (const SeqId s : sequences) {
+    writer.write_bits(dictionary.index_of(s), width);
+  }
+  bit_count = writer.bit_size();
+  return writer.take();
+}
+
+std::vector<SeqId> mst_decode(std::span<const std::uint8_t> stream,
+                              std::size_t bit_count, std::size_t count,
+                              const MstDictionary& dictionary) {
+  check(!dictionary.empty() || count == 0,
+        "mst_decode: empty dictionary with a non-empty stream");
+  const unsigned width = dictionary.index_width();
+  check(bit_count == count * width,
+        "mst_decode: stream bit count does not match the sequence count");
+  check(bit_count <= stream.size() * 8,
+        "mst_decode: stream shorter than its declared bit count");
+  BitReader reader(stream, bit_count);
+  std::vector<SeqId> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t index = reader.read_bits(width);
+    check(index < dictionary.size(), "mst_decode: index beyond dictionary");
+    out.push_back(dictionary.sequences()[static_cast<std::size_t>(index)]);
+  }
+  return out;
+}
+
+}  // namespace bkc::compress

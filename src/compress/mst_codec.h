@@ -1,0 +1,105 @@
+#pragma once
+// MST-delta kernel dictionary (after "MST-compression", arXiv
+// 2308.13735) — the first alternative block codec behind the
+// compress/block_codec.h interface.
+//
+// The observation: a basic block uses few distinct 9-bit sequences, and
+// the distinct sequences are close to each other in Hamming distance.
+// So instead of entropy-coding the stream, store a *dictionary* of the
+// distinct sequences as a minimum spanning tree over Hamming distance —
+// one root stored raw, every other entry as (parent, xor-delta) — and
+// emit the kernel stream as fixed-width indices into that dictionary.
+// Storage moves from the stream (fixed width, no prefix decode) into
+// the dictionary (cheap, because MST edges have small popcount); the
+// decode side is a single table lookup per sequence, with no
+// variable-length parsing at all.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bnn/bitpack.h"
+#include "compress/frequency.h"
+
+namespace bkc::compress {
+
+/// One non-root dictionary entry: the sequence is
+/// `sequences[parent] ^ delta`. `parent` always refers to an earlier
+/// dictionary index (the tree is serialized in attach order).
+struct MstEdge {
+  std::uint16_t parent = 0;  ///< dictionary index, < this entry's index
+  std::uint16_t delta = 0;   ///< non-zero 9-bit XOR mask
+};
+
+/// Dictionary of a block's distinct sequences, laid out as an MST over
+/// Hamming distance. Index 0 is the root (the block's most frequent
+/// sequence); entry i+1 is derived from edge i. Deterministic for a
+/// given frequency table: Prim's algorithm with ties broken by smallest
+/// distance, then smallest parent index, then smallest sequence id.
+class MstDictionary {
+ public:
+  /// An empty dictionary (no entries); decodes nothing. The inert
+  /// default for artifacts produced by other codecs.
+  MstDictionary() = default;
+
+  /// Build the MST dictionary over the distinct sequences of `table`.
+  /// Precondition: table.total() > 0.
+  static MstDictionary build(const FrequencyTable& table);
+
+  /// Rebuild from the serialized form. CheckError when an edge's parent
+  /// is not an earlier index, a delta is zero or out of range, or two
+  /// entries collapse to the same sequence.
+  static MstDictionary from_edges(SeqId root, std::vector<MstEdge> edges);
+
+  std::size_t size() const { return sequences_.size(); }
+  bool empty() const { return sequences_.empty(); }
+  const std::vector<SeqId>& sequences() const { return sequences_; }
+  const std::vector<MstEdge>& edges() const { return edges_; }
+  SeqId root() const;
+
+  /// Dictionary index of `s`; CheckError when `s` is not in the
+  /// dictionary.
+  std::uint16_t index_of(SeqId s) const;
+  bool contains(SeqId s) const;
+
+  /// Stream symbol width: every kernel sequence is stored as this many
+  /// index bits. At least 1 even for a single-entry dictionary, so a
+  /// stream always has positive length and the bit accounting stays
+  /// well-defined.
+  unsigned index_width() const;
+
+  /// Hardware storage cost of the dictionary in the MST-compression
+  /// accounting: 9 bits for the raw root plus, per edge,
+  /// bit_width(index) parent bits, a 4-bit popcount and 4 bits per
+  /// flipped position. (The container serialization below uses varints
+  /// — framing, not the hardware cost, same convention as
+  /// GroupedHuffmanCodec::table_bits().)
+  std::uint64_t table_bits() const;
+
+ private:
+  std::vector<SeqId> sequences_;
+  std::vector<MstEdge> edges_;
+  std::array<std::int32_t, bnn::kNumSequences> index_map_ = index_map_init();
+
+  static std::array<std::int32_t, bnn::kNumSequences> index_map_init() {
+    std::array<std::int32_t, bnn::kNumSequences> map;
+    map.fill(-1);
+    return map;
+  }
+};
+
+/// Encode `sequences` as fixed-width dictionary indices. CheckError
+/// when a sequence is missing from the dictionary.
+std::vector<std::uint8_t> mst_encode(std::span<const SeqId> sequences,
+                                     const MstDictionary& dictionary,
+                                     std::size_t& bit_count);
+
+/// Decode `count` sequences from a fixed-width index stream. CheckError
+/// when the stream's bit budget does not match count * index_width or
+/// an index is beyond the dictionary.
+std::vector<SeqId> mst_decode(std::span<const std::uint8_t> stream,
+                              std::size_t bit_count, std::size_t count,
+                              const MstDictionary& dictionary);
+
+}  // namespace bkc::compress

@@ -2,8 +2,7 @@
 
 #include <optional>
 
-#include "bnn/kernel_sequences.h"
-#include "compress/huffman.h"
+#include "compress/block_codec.h"
 #include "util/check.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -11,96 +10,21 @@
 namespace bkc::compress {
 
 ModelCompressor::ModelCompressor(GroupedTreeConfig tree,
-                                 ClusteringConfig clustering)
-    : tree_(std::move(tree)), clustering_(clustering) {
+                                 ClusteringConfig clustering,
+                                 std::uint32_t codec_id)
+    : tree_(std::move(tree)),
+      clustering_(clustering),
+      codec_id_(codec_id),
+      codec_(make_block_codec(codec_id, tree_, clustering_)) {
   tree_.validate();
 }
 
 CompressedBlock ModelCompressor::compress_block(
     const std::string& name, const bnn::PackedKernel& kernel) const {
-  BlockReport report;
-  report.block_name = name;
-
-  // The one sequence extraction and one frequency count of the pass;
-  // everything below — clustering, kernel remap, both stream encodes —
-  // feeds off this list instead of re-walking the packed kernel.
-  const std::vector<SeqId> sequences = bnn::extract_sequences(kernel);
-  FrequencyTable table = FrequencyTable::from_sequences(sequences);
-  report.num_sequences = table.total();
-  report.distinct_sequences = table.distinct();
-  report.top16_share = table.top_k_share(16);
-  report.top64_share = table.top_k_share(64);
-  report.top256_share = table.top_k_share(256);
-  report.entropy_bits = table.entropy_bits();
-  report.uncompressed_bits = table.total() * bnn::kSeqBits;
-
-  // Encoding column: grouped tree straight from the observed counts.
-  GroupedHuffmanCodec plain_codec(table, tree_);
-  report.encoding_bits = plain_codec.encoded_bits(table);
-  report.encoding_ratio = plain_codec.compression_ratio(table);
-  for (int n = 0; n < tree_.num_nodes(); ++n) {
-    report.node_shares_encoding.push_back(plain_codec.node_share(n, table));
-  }
-
-  // Clustering column: the one clustering search, applied to the
-  // counts (remapping the table is count-identical to re-counting the
-  // remapped sequences), the sequence list and the kernel.
-  ClusteringResult clustering = cluster_sequences(table, clustering_);
-  const std::vector<SeqId> remapped =
-      clustering.apply(std::span<const SeqId>(sequences));
-  bnn::PackedKernel coded_kernel = bnn::kernel_from_sequences(
-      kernel.shape().out_channels, kernel.shape().in_channels, remapped);
-  FrequencyTable clustered_table = clustering.apply(table);
-  GroupedHuffmanCodec clustered_codec(clustered_table, tree_);
-  report.clustering_bits = clustered_codec.encoded_bits(clustered_table);
-  report.clustering_ratio = clustered_codec.compression_ratio(clustered_table);
-  for (int n = 0; n < tree_.num_nodes(); ++n) {
-    report.node_shares_clustering.push_back(
-        clustered_codec.node_share(n, clustered_table));
-  }
-  report.flipped_bit_fraction = clustering.flipped_bit_fraction();
-  report.replaced_sequences = clustering.replacements().size();
-  report.decode_table_bits = clustered_codec.table_bits();
-
-  // Full-Huffman bound on the clustered alphabet.
-  const HuffmanCodec huffman = HuffmanCodec::build(clustered_table);
-  report.huffman_ratio = huffman.compression_ratio(clustered_table);
-
-  // Both stream artifacts, from the codecs and sequence lists already
-  // built (no re-extraction from the packed kernels). The code-length
-  // vectors are part of the artifact: hwsim's StreamInfo borrows them
-  // instead of re-walking the kernel per simulation.
-  CompressedKernel plain_stream =
-      compress_sequences(sequences, kernel.shape().out_channels,
-                         kernel.shape().in_channels, plain_codec);
-  CompressedKernel clustered_stream =
-      compress_sequences(remapped, kernel.shape().out_channels,
-                         kernel.shape().in_channels, clustered_codec);
-  std::vector<std::uint8_t> plain_lengths =
-      code_lengths_for(sequences, plain_codec);
-  std::vector<std::uint8_t> clustered_lengths =
-      code_lengths_for(remapped, clustered_codec);
-
-  return CompressedBlock{
-      .encoding =
-          KernelCompression{
-              .frequencies = table,
-              .clustering = ClusteringResult{},  // identity
-              .coded_frequencies = table,
-              .codec = std::move(plain_codec),
-              .compressed = std::move(plain_stream),
-              .coded_kernel = kernel,
-              .code_lengths = std::move(plain_lengths)},
-      .clustered =
-          KernelCompression{
-              .frequencies = std::move(table),
-              .clustering = std::move(clustering),
-              .coded_frequencies = std::move(clustered_table),
-              .codec = std::move(clustered_codec),
-              .compressed = std::move(clustered_stream),
-              .coded_kernel = std::move(coded_kernel),
-              .code_lengths = std::move(clustered_lengths)},
-      .report = std::move(report)};
+  // The whole per-block pass lives in the selected codec backend
+  // (compress/block_codec.h); for the default grouped-huffman codec it
+  // is the original single-pass body, moved verbatim.
+  return codec_->compress_block(name, kernel);
 }
 
 ModelReport aggregate_block_reports(std::vector<BlockReport> blocks,

@@ -17,6 +17,7 @@
 // Table I storage breakdown.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,8 @@
 #include "compress/kernel_codec.h"
 
 namespace bkc::compress {
+
+class BlockCodec;  // compress/block_codec.h
 
 /// Everything measured about one basic block's 3x3 kernel. Every field
 /// is derived from the block's CompressedBlock artifacts.
@@ -102,11 +105,15 @@ struct CompressedModel {
 ModelReport aggregate_block_reports(std::vector<BlockReport> blocks,
                                     std::uint64_t model_bits);
 
-/// Drives the pipeline over a ReActNet.
+/// Drives the pipeline over a ReActNet. The per-block work is owned by
+/// a block codec (compress/block_codec.h) selected by `codec_id`; the
+/// default is the paper's grouped-huffman scheme, whose per-block pass
+/// is bit-identical to the pre-interface pipeline.
 class ModelCompressor {
  public:
   explicit ModelCompressor(GroupedTreeConfig tree = GroupedTreeConfig::paper(),
-                           ClusteringConfig clustering = {});
+                           ClusteringConfig clustering = {},
+                           std::uint32_t codec_id = kCodecGroupedHuffman);
 
   /// The single pass: build the frequency table, clustering result and
   /// both codecs exactly once per block, emit both streams, and derive
@@ -141,6 +148,7 @@ class ModelCompressor {
 
   const GroupedTreeConfig& tree() const { return tree_; }
   const ClusteringConfig& clustering() const { return clustering_; }
+  std::uint32_t codec_id() const { return codec_id_; }
 
  private:
   CompressedBlock compress_block(const std::string& name,
@@ -148,6 +156,8 @@ class ModelCompressor {
 
   GroupedTreeConfig tree_;
   ClusteringConfig clustering_;
+  std::uint32_t codec_id_ = kCodecGroupedHuffman;
+  std::shared_ptr<const BlockCodec> codec_;
 };
 
 }  // namespace bkc::compress

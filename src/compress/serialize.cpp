@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "compress/block_codec.h"
 #include "util/check.h"
 
 namespace bkc::compress {
@@ -24,26 +25,6 @@ std::string fourcc_name(std::uint32_t id) {
     name.push_back(c);
   }
   return name;
-}
-
-/// Channel counts beyond this are a corrupt file, not a model (the
-/// paper's largest block is 1024 channels).
-constexpr std::int64_t kMaxChannels = 1 << 13;
-
-/// Bound on every weight-tensor element count derivable from a config
-/// (per 3x3 kernel and summed across blocks, stem, classifier). ~6x
-/// above the paper model's total; rebuilding a loaded model allocates
-/// at most this many weights per tensor class, so a CRC-valid hostile
-/// config cannot drive multi-GB allocations during
-/// Engine::load_compressed.
-constexpr std::int64_t kMaxModelUnits = 1 << 25;
-
-std::int64_t read_channel_count(ByteReader& reader, const char* what) {
-  const std::int64_t value = reader.read_i64();
-  check(value >= 1 && value <= kMaxChannels,
-        reader.context() + ": implausible " + what + " (" +
-            std::to_string(value) + ")");
-  return value;
 }
 
 }  // namespace
@@ -309,49 +290,6 @@ void write_compressed_kernel(ByteWriter& writer,
   writer.write_bytes(kernel.stream);
 }
 
-namespace {
-
-/// Parsed CompressedKernel fields with the stream still borrowed from
-/// the reader's buffer — the shared front end of the copying
-/// (read_compressed_kernel) and zero-copy (MappedBkcm) read paths.
-struct CompressedKernelRef {
-  std::int64_t out_channels = 0;
-  std::int64_t in_channels = 0;
-  std::size_t stream_bits = 0;
-  std::span<const std::uint8_t> stream;
-};
-
-CompressedKernelRef read_compressed_kernel_ref(ByteReader& reader) {
-  CompressedKernelRef kernel;
-  kernel.out_channels = read_channel_count(reader, "stream out_channels");
-  kernel.in_channels = read_channel_count(reader, "stream in_channels");
-  check(kernel.out_channels * kernel.in_channels <= kMaxModelUnits,
-        reader.context() + ": implausible stream kernel size");
-  const std::uint64_t stream_bits = reader.read_varint();
-  check(stream_bits <= std::numeric_limits<std::size_t>::max() - 7,
-        reader.context() + ": implausible stream bit count");
-  kernel.stream_bits = static_cast<std::size_t>(stream_bits);
-  kernel.stream = reader.read_span((kernel.stream_bits + 7) / 8);
-  return kernel;
-}
-
-/// Recover the per-codeword lengths of a parsed stream, re-contexted so
-/// a corrupt-behind-valid-crc stream still names the section at fault.
-std::vector<std::uint8_t> scan_lengths_checked(
-    const ByteReader& reader, const CompressedKernelRef& kernel,
-    const GroupedTreeConfig& config) {
-  try {
-    return scan_code_lengths(
-        kernel.stream, kernel.stream_bits,
-        static_cast<std::size_t>(kernel.out_channels * kernel.in_channels),
-        config);
-  } catch (const CheckError& e) {
-    throw CheckError(reader.context() + ": " + e.what());
-  }
-}
-
-}  // namespace
-
 CompressedKernel read_compressed_kernel(ByteReader& reader) {
   const CompressedKernelRef ref = read_compressed_kernel_ref(reader);
   CompressedKernel kernel;
@@ -372,27 +310,14 @@ void write_kernel_compression(ByteWriter& writer,
 }
 
 KernelCompression read_kernel_compression(ByteReader& reader) {
-  // Member-by-member; coded_kernel stays default-constructed — the
-  // loader rebuilds it by decoding `compressed` with `codec`. The
-  // code-length vector is not stored either: one prefix-only scan of
-  // the stream recovers it (scan_code_lengths), so every loaded
-  // artifact carries lengths just like a freshly compressed one.
-  KernelCompression stream{
-      .frequencies = read_frequency_table(reader),
-      .clustering = read_clustering_result(reader),
-      .coded_frequencies = read_frequency_table(reader),
-      .codec = read_codec(reader),
-      .compressed = {},
-      .coded_kernel = {},
-      .code_lengths = {}};
-  const CompressedKernelRef ref = read_compressed_kernel_ref(reader);
-  stream.compressed.out_channels = ref.out_channels;
-  stream.compressed.in_channels = ref.in_channels;
-  stream.compressed.stream_bits = ref.stream_bits;
-  stream.compressed.stream.assign(ref.stream.begin(), ref.stream.end());
-  stream.code_lengths =
-      scan_lengths_checked(reader, ref, stream.codec.config());
-  return stream;
+  // The grouped-huffman BlockCodec owns the parse (coded_kernel stays
+  // default-constructed — the loader rebuilds it by decoding; the
+  // code-length vector comes from a prefix-only scan of the stream);
+  // this copying wrapper just materializes the borrowed stream bytes.
+  ParsedBlock parsed = codec_for(kCodecGroupedHuffman).read_block(reader);
+  parsed.artifact.compressed.stream.assign(parsed.stream.begin(),
+                                           parsed.stream.end());
+  return std::move(parsed.artifact);
 }
 
 void write_block_report(ByteWriter& writer, const BlockReport& report) {
@@ -500,9 +425,14 @@ namespace {
 
 constexpr std::size_t kHeaderFixedBytes = 16;   // magic/version/flags/count
 constexpr std::size_t kSectionRowBytes = 24;    // id/offset/length/crc
-constexpr int kNumSections = 3;
+/// The mandatory leading sections of every version.
+constexpr int kNumCoreSections = 3;
+/// Plausibility cap on a v2 section count: 3 core + up to 13 optional
+/// sections is far beyond anything defined today, and it bounds the
+/// header walk a hostile count can request.
+constexpr std::uint32_t kMaxSections = 16;
 
-const std::uint32_t kSectionOrder[kNumSections] = {
+const std::uint32_t kSectionOrder[kNumCoreSections] = {
     kBkcmSectionConfig, kBkcmSectionReport, kBkcmSectionBlocks};
 
 }  // namespace
@@ -538,23 +468,45 @@ std::vector<std::uint8_t> write_bkcm(
   ByteWriter rept;
   write_model_report(rept, report);
 
+  // BLKS, v2: each block payload behind its codec-id word, serialized
+  // by the owning codec backend. codec_for rejects an unregistered id
+  // before a single byte is written.
   ByteWriter blks;
   blks.write_varint(streams.size());
+  std::vector<std::uint32_t> used_codecs;
   for (const KernelCompression& stream : streams) {
-    write_kernel_compression(blks, stream);
+    const BlockCodec& codec = codec_for(stream.codec_id);
+    blks.write_u32(stream.codec_id);
+    codec.write_block(blks, stream);
+    used_codecs.push_back(stream.codec_id);
+  }
+  std::sort(used_codecs.begin(), used_codecs.end());
+  used_codecs.erase(std::unique(used_codecs.begin(), used_codecs.end()),
+                    used_codecs.end());
+
+  // CDCS: the codec directory (distinct ids ascending, with their
+  // registry names).
+  ByteWriter cdcs;
+  cdcs.write_varint(used_codecs.size());
+  for (const std::uint32_t id : used_codecs) {
+    cdcs.write_u32(id);
+    cdcs.write_string(codec_for(id).name());
   }
 
-  const ByteWriter* payloads[kNumSections] = {&conf, &rept, &blks};
+  constexpr int kNumWritten = kNumCoreSections + 1;
+  const ByteWriter* payloads[kNumWritten] = {&conf, &rept, &blks, &cdcs};
+  const std::uint32_t ids[kNumWritten] = {
+      kBkcmSectionConfig, kBkcmSectionReport, kBkcmSectionBlocks,
+      kBkcmSectionCodecs};
 
   ByteWriter file;
   file.write_u32(kBkcmMagic);
   file.write_u32(kBkcmVersion);
   file.write_u32(clustering ? kBkcmFlagClustering : 0);
-  file.write_u32(kNumSections);
-  std::uint64_t offset =
-      kHeaderFixedBytes + kNumSections * kSectionRowBytes;
-  for (int s = 0; s < kNumSections; ++s) {
-    file.write_u32(kSectionOrder[s]);
+  file.write_u32(kNumWritten);
+  std::uint64_t offset = kHeaderFixedBytes + kNumWritten * kSectionRowBytes;
+  for (int s = 0; s < kNumWritten; ++s) {
+    file.write_u32(ids[s]);
     file.write_u64(offset);
     file.write_u64(payloads[s]->size());
     file.write_u32(crc32(payloads[s]->bytes()));
@@ -575,27 +527,55 @@ BkcmInfo inspect_bkcm(std::span<const std::uint8_t> file) {
   BkcmInfo info;
   info.file_size = file.size();
   info.version = header.read_u32();
-  check(info.version == kBkcmVersion,
+  check(info.version >= kBkcmMinVersion && info.version <= kBkcmVersion,
         "BKCM header: unsupported version " + std::to_string(info.version) +
-            " (this build reads version " + std::to_string(kBkcmVersion) +
-            ")");
+            " (this build reads versions " + std::to_string(kBkcmMinVersion) +
+            ".." + std::to_string(kBkcmVersion) + ")");
   info.flags = header.read_u32();
   check((info.flags & ~kBkcmFlagClustering) == 0,
         "BKCM header: unknown flag bits set");
   const std::uint32_t section_count = header.read_u32();
-  check(section_count == kNumSections,
-        "BKCM header: expected " + std::to_string(kNumSections) +
-            " sections, found " + std::to_string(section_count));
+  if (info.version == 1) {
+    // v1 is strict: exactly the three core sections.
+    check(section_count == kNumCoreSections,
+          "BKCM header: expected " + std::to_string(kNumCoreSections) +
+              " sections, found " + std::to_string(section_count));
+  } else {
+    // v2: the three core sections plus bounded optional sections.
+    check(section_count >= kNumCoreSections && section_count <= kMaxSections,
+          "BKCM header: implausible section count " +
+              std::to_string(section_count) + " (expected " +
+              std::to_string(kNumCoreSections) + ".." +
+              std::to_string(kMaxSections) + " sections)");
+  }
 
+  std::vector<std::uint32_t> seen_ids;
   std::uint64_t expected_offset =
-      kHeaderFixedBytes + kNumSections * kSectionRowBytes;
-  for (int s = 0; s < kNumSections; ++s) {
+      kHeaderFixedBytes +
+      static_cast<std::uint64_t>(section_count) * kSectionRowBytes;
+  for (std::uint32_t s = 0; s < section_count; ++s) {
     BkcmSection section;
     const std::uint32_t id = header.read_u32();
-    check(id == kSectionOrder[s],
-          "BKCM header: section " + std::to_string(s) + " must be '" +
-              fourcc_name(kSectionOrder[s]) + "', found '" +
-              fourcc_name(id) + "'");
+    if (s < kNumCoreSections) {
+      check(id == kSectionOrder[s],
+            "BKCM header: section " + std::to_string(s) + " must be '" +
+                fourcc_name(kSectionOrder[s]) + "', found '" +
+                fourcc_name(id) + "'");
+    } else {
+      // Optional sections: any id that is not a core section and does
+      // not repeat. Unknown ids are structurally validated (range,
+      // checksum, contiguity) and skipped by the parsers.
+      for (const std::uint32_t core : kSectionOrder) {
+        check(id != core, "BKCM header: optional section duplicates core "
+                          "section '" +
+                              fourcc_name(core) + "'");
+      }
+      check(std::find(seen_ids.begin(), seen_ids.end(), id) ==
+                seen_ids.end(),
+            "BKCM header: duplicate optional section '" + fourcc_name(id) +
+                "'");
+      seen_ids.push_back(id);
+    }
     section.name = fourcc_name(id);
     section.offset = header.read_u64();
     section.length = header.read_u64();
@@ -632,11 +612,19 @@ namespace {
 
 /// Guard against a stale or hand-rolled info (the section rows are
 /// indexed by the parsers, so a malformed table must fail cleanly).
-void check_v1_info(const BkcmInfo& info) {
-  check(info.sections.size() == kNumSections,
-        "BKCM: BkcmInfo does not describe a v1 container (expected " +
-            std::to_string(kNumSections) + " sections, got " +
+void check_bkcm_info(const BkcmInfo& info) {
+  check(info.sections.size() >= kNumCoreSections &&
+            info.sections.size() <= kMaxSections,
+        "BKCM: BkcmInfo does not describe a BKCM container (expected " +
+            std::to_string(kNumCoreSections) + ".." +
+            std::to_string(kMaxSections) + " sections, got " +
             std::to_string(info.sections.size()) + ")");
+  for (int s = 0; s < kNumCoreSections; ++s) {
+    check(info.sections[static_cast<std::size_t>(s)].name ==
+              fourcc_name(kSectionOrder[s]),
+          "BKCM: BkcmInfo section " + std::to_string(s) + " must be '" +
+              fourcc_name(kSectionOrder[s]) + "'");
+  }
 }
 
 ByteReader bkcm_section_reader(const ByteReader& whole, const BkcmInfo& info,
@@ -705,11 +693,62 @@ void check_report_covers_streams(std::size_t report_blocks,
             " streams");
 }
 
+/// v2 prefixes every block payload with its codec id; v1 blocks are
+/// implicitly grouped-huffman. The registry gate here is what keeps a
+/// CRC-valid hostile container from selecting a codec that does not
+/// exist.
+std::uint32_t read_stream_codec_id(ByteReader& blks, std::uint32_t version,
+                                   std::uint64_t index) {
+  if (version < 2) return kCodecGroupedHuffman;
+  const std::uint32_t id = blks.read_u32();
+  check(block_codec_registered(id),
+        blks.context() + ": stream " + std::to_string(index) +
+            " selects unregistered codec id " + std::to_string(id));
+  return id;
+}
+
+/// Validate one 'CDCS' codec-directory payload against the registry and
+/// the codec ids 'BLKS' actually used (distinct, ascending).
+void validate_codecs_section(ByteReader cdcs,
+                             const std::vector<std::uint32_t>& used) {
+  const std::uint64_t count = cdcs.read_varint();
+  check(count == used.size(),
+        cdcs.context() + ": directory lists " + std::to_string(count) +
+            " codecs, 'BLKS' uses " + std::to_string(used.size()));
+  for (const std::uint32_t expected : used) {
+    const std::uint32_t id = cdcs.read_u32();
+    check(id == expected,
+          cdcs.context() +
+              ": directory does not match the codecs used by 'BLKS'");
+    const std::string name = cdcs.read_string(/*max_length=*/64);
+    check(name == codec_for(id).name(),
+          cdcs.context() + ": codec " + std::to_string(id) + " name '" +
+              name + "' does not match the registered codec");
+  }
+  cdcs.expect_exhausted();
+}
+
+/// Walk the optional sections: 'CDCS' is validated, unknown ids are
+/// skipped (their structure and checksum were already checked by
+/// inspect_bkcm).
+void validate_optional_sections(const ByteReader& whole,
+                                const BkcmInfo& info,
+                                std::vector<std::uint32_t> used) {
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  for (std::size_t s = kNumCoreSections; s < info.sections.size(); ++s) {
+    if (info.sections[s].name == "CDCS") {
+      validate_codecs_section(
+          bkcm_section_reader(whole, info, static_cast<int>(s)), used);
+    }
+  }
+}
+
 }  // namespace
 
 BkcmContents read_bkcm(std::span<const std::uint8_t> file,
                        const BkcmInfo& info) {
-  check_v1_info(info);
+  check_bkcm_info(info);
   const ByteReader whole(file, "BKCM");
 
   BkcmContents contents;
@@ -729,15 +768,25 @@ BkcmContents read_bkcm(std::span<const std::uint8_t> file,
   const std::uint64_t num_streams =
       read_blks_stream_count(blks, contents.model_config);
   contents.streams.reserve(static_cast<std::size_t>(num_streams));
+  std::vector<std::uint32_t> used_codecs;
   for (std::uint64_t b = 0; b < num_streams; ++b) {
-    contents.streams.push_back(read_kernel_compression(blks));
-    check_stream_tree(blks, contents.streams.back().codec.config(),
-                      contents.tree, b);
+    const std::uint32_t codec_id =
+        read_stream_codec_id(blks, info.version, b);
+    ParsedBlock parsed = codec_for(codec_id).read_block(blks);
+    parsed.artifact.compressed.stream.assign(parsed.stream.begin(),
+                                             parsed.stream.end());
+    if (codec_id == kCodecGroupedHuffman) {
+      check_stream_tree(blks, parsed.artifact.codec.config(), contents.tree,
+                        b);
+    }
+    used_codecs.push_back(codec_id);
+    contents.streams.push_back(std::move(parsed.artifact));
   }
   blks.expect_exhausted();
 
   check_report_covers_streams(contents.report.blocks.size(),
                               contents.streams.size());
+  validate_optional_sections(whole, info, std::move(used_codecs));
   return contents;
 }
 
@@ -766,30 +815,23 @@ MappedBkcm MappedBkcm::open(const std::string& path) {
   const std::uint64_t num_streams =
       read_blks_stream_count(blks, out.model_config_);
   out.blocks_.reserve(static_cast<std::size_t>(num_streams));
+  std::vector<std::uint32_t> used_codecs;
   for (std::uint64_t b = 0; b < num_streams; ++b) {
-    Block block{.frequencies = read_frequency_table(blks),
-                .clustering = read_clustering_result(blks),
-                .coded_frequencies = read_frequency_table(blks),
-                .codec = read_codec(blks),
-                .out_channels = 0,
-                .in_channels = 0,
-                .stream = {},
-                .stream_bits = 0,
-                .code_lengths = {}};
-    const CompressedKernelRef kernel = read_compressed_kernel_ref(blks);
-    block.out_channels = kernel.out_channels;
-    block.in_channels = kernel.in_channels;
-    block.stream = kernel.stream;
-    block.stream_bits = kernel.stream_bits;
-    block.code_lengths =
-        scan_lengths_checked(blks, kernel, block.codec.config());
-    check_stream_tree(blks, block.codec.config(), out.tree_, b);
-    out.blocks_.push_back(std::move(block));
+    const std::uint32_t codec_id =
+        read_stream_codec_id(blks, out.info_.version, b);
+    ParsedBlock parsed = codec_for(codec_id).read_block(blks);
+    if (codec_id == kCodecGroupedHuffman) {
+      check_stream_tree(blks, parsed.artifact.codec.config(), out.tree_, b);
+    }
+    used_codecs.push_back(codec_id);
+    out.blocks_.push_back(
+        Block{.artifact = std::move(parsed.artifact), .stream = parsed.stream});
   }
   blks.expect_exhausted();
 
   check_report_covers_streams(out.report_.blocks.size(),
                               out.blocks_.size());
+  validate_optional_sections(whole, out.info_, std::move(used_codecs));
   return out;
 }
 
@@ -797,13 +839,16 @@ CompressedModelView MappedBkcm::view(std::vector<bnn::OpRecord> ops) const {
   std::vector<BlockStreamView> blocks;
   blocks.reserve(blocks_.size());
   for (const Block& block : blocks_) {
-    blocks.push_back(BlockStreamView{.out_channels = block.out_channels,
-                                     .in_channels = block.in_channels,
-                                     .stream = block.stream,
-                                     .stream_bits = block.stream_bits,
-                                     .code_lengths = block.code_lengths,
-                                     .codec = &block.codec,
-                                     .clustering = &block.clustering});
+    const KernelCompression& artifact = block.artifact;
+    blocks.push_back(
+        BlockStreamView{.out_channels = artifact.compressed.out_channels,
+                        .in_channels = artifact.compressed.in_channels,
+                        .stream = block.stream,
+                        .stream_bits = artifact.compressed.stream_bits,
+                        .code_lengths = artifact.code_lengths,
+                        .codec = &artifact.codec,
+                        .clustering = &artifact.clustering,
+                        .codec_id = artifact.codec_id});
   }
   return assemble_view(std::move(ops), std::move(blocks));
 }

@@ -1,13 +1,13 @@
 #pragma once
 // BKCM ("BNN Kernel-Compressed Model") — the on-disk container for a
-// compressed model, v1. This is the deployment artifact of the paper's
-// scheme: the model ships as the per-block decode tables plus the
-// compressed kernel streams (exactly what the Sec IV hardware decoder
-// consumes), the clustering remap and frequency statistics, the model
-// configuration needed to rebuild the uncompressed layers, and the
-// compression report. The 3x3 kernels themselves are NOT stored — the
-// loader reconstructs them by decoding the streams (core/engine.h,
-// Engine::load_compressed).
+// compressed model, v2 (v1 containers still load). This is the
+// deployment artifact: the model ships as the per-block codec payloads
+// (decode tables / dictionaries plus the compressed kernel streams —
+// exactly what the Sec IV hardware decoder consumes), the clustering
+// remap and frequency statistics, the model configuration needed to
+// rebuild the uncompressed layers, and the compression report. The 3x3
+// kernels themselves are NOT stored — the loader reconstructs them by
+// decoding the streams (core/engine.h, Engine::load_compressed).
 //
 // File layout (everything little-endian, util/binary_io.h):
 //
@@ -19,15 +19,22 @@
 //   +--------------------------------------------------------------+
 //   | 'CONF' tree + clustering config, ReActNet model config       |
 //   | 'REPT' ModelReport (doubles stored as IEEE-754 bit patterns) |
-//   | 'BLKS' per-block codec tables, remaps and kernel bitstreams  |
+//   | 'BLKS' per-block payloads; v2 prefixes each with its codec id|
+//   | 'CDCS' (v2) codec directory: ids + names used by 'BLKS'      |
 //   +--------------------------------------------------------------+
 //
-// v1 is strict: exactly the three sections above, in that order,
-// contiguous, with a CRC-32 each. A reader rejects bad magic, an
-// unknown version or flag bit, a section range outside the file, a
-// checksum mismatch, and trailing bytes — always with CheckError
-// naming the offending section, never undefined behaviour
-// (tests/test_bkcm_robustness.cpp). Any layout change bumps
+// Version negotiation: a v1 container is strict — exactly the three
+// core sections, in order, 'BLKS' implicitly grouped-huffman. A v2
+// container starts with the same three core sections (each 'BLKS'
+// block prefixed by a u32 codec id, dispatched through the
+// compress/block_codec.h registry) and may append optional sections;
+// a reader validates structure + CRC of every section but skips
+// optional ids it does not know, so future minor additions stay
+// readable. Both versions reject bad magic, an unknown flag bit, an
+// unregistered codec id, a section range outside the file, a checksum
+// mismatch, and trailing bytes — always with CheckError naming the
+// offending section, never undefined behaviour
+// (tests/test_bkcm_robustness.cpp). Any breaking layout change bumps
 // kBkcmVersion; README.md ("On-disk format") states the compat policy.
 
 #include <cstdint>
@@ -54,7 +61,10 @@ constexpr std::uint32_t fourcc(char a, char b, char c, char d) {
 }
 
 inline constexpr std::uint32_t kBkcmMagic = fourcc('B', 'K', 'C', 'M');
-inline constexpr std::uint32_t kBkcmVersion = 1;
+/// The version this build writes. Readers accept [kBkcmMinVersion,
+/// kBkcmVersion]; see the version-negotiation policy above.
+inline constexpr std::uint32_t kBkcmVersion = 2;
+inline constexpr std::uint32_t kBkcmMinVersion = 1;
 /// flags bit 0: the engine that wrote the file ran the clustering pass
 /// (the streams encode the clustered kernels).
 inline constexpr std::uint32_t kBkcmFlagClustering = 1u << 0;
@@ -62,6 +72,12 @@ inline constexpr std::uint32_t kBkcmFlagClustering = 1u << 0;
 inline constexpr std::uint32_t kBkcmSectionConfig = fourcc('C', 'O', 'N', 'F');
 inline constexpr std::uint32_t kBkcmSectionReport = fourcc('R', 'E', 'P', 'T');
 inline constexpr std::uint32_t kBkcmSectionBlocks = fourcc('B', 'L', 'K', 'S');
+/// v2 optional section: the codec directory — (id, name) of every
+/// distinct codec used by 'BLKS', ascending. Redundant with the
+/// per-block ids by design: a reader cross-checks it against the
+/// registry and the streams, and tooling can list the codecs without
+/// parsing a single block payload.
+inline constexpr std::uint32_t kBkcmSectionCodecs = fourcc('C', 'D', 'C', 'S');
 
 /// Everything a BKCM container holds. `streams` carries one
 /// KernelCompression per basic block in model order; its `coded_kernel`
@@ -118,7 +134,10 @@ void write_compressed_kernel(ByteWriter& writer,
                              const CompressedKernel& kernel);
 CompressedKernel read_compressed_kernel(ByteReader& reader);
 
-/// Everything except `coded_kernel` (reconstructed by decoding).
+/// Everything except `coded_kernel` (reconstructed by decoding). The
+/// GROUPED-HUFFMAN per-block payload — the v1 block layout, and the v2
+/// grouped payload behind its codec-id word. Other codecs serialize
+/// through their BlockCodec::write_block/read_block instead.
 void write_kernel_compression(ByteWriter& writer,
                               const KernelCompression& stream);
 KernelCompression read_kernel_compression(ByteReader& reader);
@@ -195,18 +214,13 @@ BkcmContents read_bkcm(std::span<const std::uint8_t> file,
 /// storage is heap-allocated); destroying it invalidates every view.
 class MappedBkcm {
  public:
-  /// One block of the mapped 'BLKS' section: owned small artifacts plus
-  /// the borrowed stream bytes.
+  /// One block of the mapped 'BLKS' section: the owned small artifacts
+  /// (everything a KernelCompression carries, with
+  /// `artifact.compressed.stream` left EMPTY and `artifact.coded_kernel`
+  /// never decoded) plus the stream bytes borrowed from the mapping.
   struct Block {
-    FrequencyTable frequencies;
-    ClusteringResult clustering;
-    FrequencyTable coded_frequencies;
-    GroupedHuffmanCodec codec;
-    std::int64_t out_channels = 0;
-    std::int64_t in_channels = 0;
+    KernelCompression artifact;
     std::span<const std::uint8_t> stream;  ///< borrowed from the mapping
-    std::size_t stream_bits = 0;
-    std::vector<std::uint8_t> code_lengths;  ///< scanned, owned
   };
 
   /// Map `path` and parse it as described above. CheckError (naming the

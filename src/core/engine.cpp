@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include "compress/block_codec.h"
 #include "compress/serialize.h"
 #include "util/binary_io.h"
 #include "util/check.h"
@@ -12,7 +13,8 @@ Engine::Engine(const bnn::ReActNetConfig& model_config,
                const EngineOptions& options)
     : options_(options),
       model_(model_config),
-      compressor_(options.tree, options.clustering_config) {}
+      compressor_(options.tree, options.clustering_config,
+                  options.codec_id) {}
 
 const compress::ModelReport& Engine::compress(int num_threads) {
   if (compressed_) return report_;
@@ -69,8 +71,7 @@ bool Engine::verify_streams(int num_threads) const {
                    const auto i = static_cast<std::size_t>(b);
                    const auto& stream = streams_[i];
                    const bnn::PackedKernel decoded =
-                       compress::decompress_kernel(stream.compressed,
-                                                   stream.codec);
+                       compress::decode_block(stream);
                    ok[i] = decoded == model_.block(i).conv3x3().kernel();
                  }
                });
@@ -107,10 +108,14 @@ Engine Engine::load_compressed(std::span<const std::uint8_t> file,
   // classifier) deterministically from the stored configuration, then
   // replace every 3x3 kernel with the decoded stream content — the
   // decode-side reconstruction of the paper's Sec IV deployment story.
-  Engine engine(contents.model_config,
-                EngineOptions{.clustering = contents.clustering,
-                              .tree = contents.tree,
-                              .clustering_config = contents.clustering_config});
+  Engine engine(
+      contents.model_config,
+      EngineOptions{.clustering = contents.clustering,
+                    .tree = contents.tree,
+                    .clustering_config = contents.clustering_config,
+                    .codec_id = contents.streams.empty()
+                                    ? compress::kCodecGroupedHuffman
+                                    : contents.streams.front().codec_id});
 
   // Decode one stream per work unit; each unit writes only its own
   // slot, so the fan-out is bit-identical to the serial path. Decode
@@ -137,8 +142,7 @@ Engine Engine::load_compressed(std::span<const std::uint8_t> file,
                  for (std::int64_t b = begin; b < end; ++b) {
                    const auto i = static_cast<std::size_t>(b);
                    compress::KernelCompression& stream = contents.streams[i];
-                   stream.coded_kernel = compress::decompress_kernel(
-                       stream.compressed, stream.codec);
+                   stream.coded_kernel = compress::decode_block(stream);
                  }
                });
   for (std::size_t b = 0; b < engine.model_.num_blocks(); ++b) {
@@ -153,11 +157,15 @@ Engine Engine::load_compressed(std::span<const std::uint8_t> file,
 
 Engine Engine::load_compressed(const compress::MappedBkcm& mapped,
                                int num_threads) {
-  Engine engine(mapped.model_config(),
-                EngineOptions{.clustering = mapped.clustering(),
-                              .tree = mapped.tree(),
-                              .clustering_config = mapped.clustering_config()});
   const std::vector<compress::MappedBkcm::Block>& blocks = mapped.blocks();
+  Engine engine(
+      mapped.model_config(),
+      EngineOptions{.clustering = mapped.clustering(),
+                    .tree = mapped.tree(),
+                    .clustering_config = mapped.clustering_config(),
+                    .codec_id = blocks.empty()
+                                    ? compress::kCodecGroupedHuffman
+                                    : blocks.front().artifact.codec_id});
   const auto num_blocks = static_cast<std::int64_t>(blocks.size());
   check(blocks.size() == engine.model_.num_blocks(),
         "Engine::load_compressed: mapped block count does not match the "
@@ -166,8 +174,9 @@ Engine Engine::load_compressed(const compress::MappedBkcm& mapped,
   // validated against the model before any stream decodes.
   for (std::size_t b = 0; b < blocks.size(); ++b) {
     const auto& shape = engine.model_.block(b).conv3x3().kernel().shape();
-    check(blocks[b].out_channels == shape.out_channels &&
-              blocks[b].in_channels == shape.in_channels,
+    const compress::CompressedKernel& stream = blocks[b].artifact.compressed;
+    check(stream.out_channels == shape.out_channels &&
+              stream.in_channels == shape.in_channels,
           "Engine::load_compressed: mapped stream shape for block " +
               std::to_string(b) + " (" + engine.model_.block(b).name() +
               ") does not match the model");
@@ -179,27 +188,16 @@ Engine Engine::load_compressed(const compress::MappedBkcm& mapped,
   // serial path.
   engine.streams_.reserve(blocks.size());
   for (const compress::MappedBkcm::Block& block : blocks) {
-    compress::CompressedKernel compressed;
-    compressed.out_channels = block.out_channels;
-    compressed.in_channels = block.in_channels;
-    compressed.stream.assign(block.stream.begin(), block.stream.end());
-    compressed.stream_bits = block.stream_bits;
-    engine.streams_.push_back(
-        compress::KernelCompression{.frequencies = block.frequencies,
-                                    .clustering = block.clustering,
-                                    .coded_frequencies = block.coded_frequencies,
-                                    .codec = block.codec,
-                                    .compressed = std::move(compressed),
-                                    .coded_kernel = {},
-                                    .code_lengths = block.code_lengths});
+    compress::KernelCompression stream = block.artifact;
+    stream.compressed.stream.assign(block.stream.begin(), block.stream.end());
+    engine.streams_.push_back(std::move(stream));
   }
   parallel_for(num_blocks, num_threads,
                [&](std::int64_t begin, std::int64_t end) {
                  for (std::int64_t b = begin; b < end; ++b) {
                    const auto i = static_cast<std::size_t>(b);
                    compress::KernelCompression& stream = engine.streams_[i];
-                   stream.coded_kernel = compress::decompress_kernel(
-                       stream.compressed, stream.codec);
+                   stream.coded_kernel = compress::decode_block(stream);
                  }
                });
   for (std::size_t b = 0; b < engine.model_.num_blocks(); ++b) {

@@ -32,6 +32,12 @@ struct EngineOptions {
   bool clustering = true;
   compress::GroupedTreeConfig tree = compress::GroupedTreeConfig::paper();
   compress::ClusteringConfig clustering_config = {};
+  /// Which block codec (compress/block_codec.h registry) compresses the
+  /// kernels. The default is the paper's grouped-huffman scheme;
+  /// `tree`/`clustering_config` only apply to it (other codecs ignore
+  /// them, and `clustering` selects which of their two emitted streams
+  /// deploys — for a codec without a clustering pass both are the same).
+  std::uint32_t codec_id = compress::kCodecGroupedHuffman;
 };
 
 /// End-to-end facade over the model, the codec and the timing model.
@@ -78,7 +84,7 @@ class Engine {
   /// `num_threads`. Precondition: compress() was called.
   bool verify_streams(int num_threads = 1) const;
 
-  /// Write the compressed model to `path` as a BKCM v1 container
+  /// Write the compressed model to `path` as a BKCM v2 container
   /// (compress/serialize.h): model configuration, compression report,
   /// and per-block decode tables + kernel bitstreams. The 3x3 kernels
   /// themselves are not stored — load_compressed() reconstructs them by

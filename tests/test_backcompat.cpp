@@ -1,0 +1,188 @@
+// Container back-compat: the PERMANENT v1 fixture
+// (tests/golden/reactnet_tiny_v1.bkcm, written by the last v1 build
+// with the same tiny/seed-42 recipe as the current golden) must keep
+// loading through the refactored codec-dispatch paths — buffered AND
+// mapped — bit-identically to a from-scratch compression. Plus the
+// forward contract: every codec in the block-codec registry must
+// round-trip an engine through a v2 container.
+//
+// The v1 fixture is never regenerated; if this suite fails the READER
+// broke, not the fixture (the CTest 'backcompat' label runs it in CI).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "compress/block_codec.h"
+#include "compress/serialize.h"
+#include "core/engine.h"
+#include "support/support.h"
+#include "util/binary_io.h"
+
+namespace bkc {
+namespace {
+
+using compress::BkcmInfo;
+using compress::MappedBkcm;
+
+const std::string& v1_path() {
+  static const std::string path =
+      test::golden_path("reactnet_tiny_v1.bkcm");
+  return path;
+}
+
+/// The engine every load must reproduce: the golden recipe (tiny
+/// config, seed 42, default options), compressed fresh.
+const Engine& reference_engine() {
+  static const Engine engine = [] {
+    Engine fresh(test::tiny_config(/*seed=*/42));
+    fresh.compress();
+    return fresh;
+  }();
+  return engine;
+}
+
+void expect_engine_matches_reference(const Engine& loaded,
+                                     const std::string& what) {
+  const Engine& reference = reference_engine();
+  ASSERT_EQ(loaded.model().num_blocks(), reference.model().num_blocks())
+      << what;
+  for (std::size_t b = 0; b < reference.model().num_blocks(); ++b) {
+    EXPECT_TRUE(loaded.model().block(b).conv3x3().kernel() ==
+                reference.model().block(b).conv3x3().kernel())
+        << what << ": kernel of block " << b;
+  }
+  const auto& loaded_report = loaded.report();
+  const auto& reference_report = reference.report();
+  ASSERT_EQ(loaded_report.blocks.size(), reference_report.blocks.size());
+  EXPECT_EQ(loaded_report.conv3x3_clustering_bits,
+            reference_report.conv3x3_clustering_bits)
+      << what;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(loaded_report.model_ratio),
+            std::bit_cast<std::uint64_t>(reference_report.model_ratio))
+      << what;
+  EXPECT_EQ(
+      std::bit_cast<std::uint64_t>(loaded_report.mean_clustering_ratio),
+      std::bit_cast<std::uint64_t>(reference_report.mean_clustering_ratio))
+      << what;
+
+  // Classification from the loaded kernels is bit-identical too.
+  bnn::WeightGenerator gen(5);
+  const Tensor image =
+      gen.sample_activation(reference.model().input_shape());
+  const Tensor expected = reference.classify(image);
+  const Tensor scores = loaded.classify(image);
+  ASSERT_EQ(scores.data().size(), expected.data().size());
+  for (std::size_t v = 0; v < scores.data().size(); ++v) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(scores.data()[v]),
+              std::bit_cast<std::uint32_t>(expected.data()[v]))
+        << what << ": score " << v;
+  }
+}
+
+TEST(BackCompatV1, FixtureIsAVersion1Container) {
+  const std::vector<std::uint8_t> file = read_file_bytes(v1_path());
+  const BkcmInfo info = compress::inspect_bkcm(file);
+  EXPECT_EQ(info.version, 1u);
+  ASSERT_EQ(info.sections.size(), 3u);
+  EXPECT_EQ(info.sections[0].name, "CONF");
+  EXPECT_EQ(info.sections[1].name, "REPT");
+  EXPECT_EQ(info.sections[2].name, "BLKS");
+  // v1 blocks are implicitly grouped-huffman; the reader stamps the id.
+  const compress::BkcmContents contents = compress::read_bkcm(file, info);
+  for (const compress::KernelCompression& stream : contents.streams) {
+    EXPECT_EQ(stream.codec_id, compress::kCodecGroupedHuffman);
+  }
+}
+
+TEST(BackCompatV1, BufferedLoadIsBitIdenticalAtEveryThreadCount) {
+  const std::vector<std::uint8_t> file = read_file_bytes(v1_path());
+  for (const int threads : {1, 2, 4, 7}) {
+    const Engine loaded = Engine::load_compressed(
+        std::span<const std::uint8_t>(file), threads);
+    EXPECT_TRUE(loaded.verify_streams(threads));
+    EXPECT_EQ(loaded.options().codec_id, compress::kCodecGroupedHuffman);
+    expect_engine_matches_reference(
+        loaded, "buffered, threads " + std::to_string(threads));
+  }
+}
+
+TEST(BackCompatV1, MappedLoadIsBitIdenticalAtEveryThreadCount) {
+  for (const int threads : {1, 2, 4, 7}) {
+    // Engine::load_compressed(path) maps the file; the MappedBkcm
+    // overload is the serving path — exercise both.
+    const Engine loaded = Engine::load_compressed(v1_path(), threads);
+    EXPECT_TRUE(loaded.verify_streams(threads));
+    expect_engine_matches_reference(
+        loaded, "mapped, threads " + std::to_string(threads));
+
+    const MappedBkcm mapped = MappedBkcm::open(v1_path());
+    EXPECT_EQ(mapped.info().version, 1u);
+    const Engine served = Engine::load_compressed(mapped, threads);
+    expect_engine_matches_reference(
+        served, "mapped (serving), threads " + std::to_string(threads));
+  }
+}
+
+TEST(BackCompatV1, RewritingTheFixtureUpgradesItToV2Unchanged) {
+  // Load the v1 fixture and write it back out: the result is a v2
+  // container whose artifacts survive another round trip bit-exactly.
+  const Engine loaded = Engine::load_compressed(v1_path());
+  const std::string path = ::testing::TempDir() + "/bkc_v1_upgraded.bkcm";
+  loaded.save_compressed(path);
+  const BkcmInfo info =
+      compress::inspect_bkcm(read_file_bytes(path));
+  EXPECT_EQ(info.version, compress::kBkcmVersion);
+  const Engine upgraded = Engine::load_compressed(path);
+  expect_engine_matches_reference(upgraded, "v1 fixture upgraded to v2");
+  std::remove(path.c_str());
+}
+
+// ---- Forward contract: every registered codec round-trips ----
+
+class BackCompatCodecs : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BackCompatCodecs, EngineRoundTripsThroughAV2Container) {
+  const std::uint32_t codec_id = GetParam();
+  const std::string path = ::testing::TempDir() + "/bkc_codec_" +
+                           std::to_string(codec_id) + ".bkcm";
+  Engine source(test::tiny_config(61), EngineOptions{.codec_id = codec_id});
+  source.compress(2);
+  EXPECT_TRUE(source.verify_streams(2));
+  source.save_compressed(path);
+
+  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  const Engine buffered =
+      Engine::load_compressed(std::span<const std::uint8_t>(bytes), 2);
+  const Engine mapped = Engine::load_compressed(path, 2);
+  for (const Engine* loaded : {&buffered, &mapped}) {
+    EXPECT_EQ(loaded->options().codec_id, codec_id);
+    EXPECT_TRUE(loaded->verify_streams(2));
+    ASSERT_EQ(loaded->model().num_blocks(), source.model().num_blocks());
+    for (std::size_t b = 0; b < source.model().num_blocks(); ++b) {
+      EXPECT_TRUE(loaded->model().block(b).conv3x3().kernel() ==
+                  source.model().block(b).conv3x3().kernel())
+          << "codec " << codec_id << ", block " << b;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredCodecs, BackCompatCodecs,
+    ::testing::ValuesIn(std::vector<std::uint32_t>(
+        compress::registered_block_codecs().begin(),
+        compress::registered_block_codecs().end())),
+    [](const ::testing::TestParamInfo<std::uint32_t>& info) {
+      std::string name(compress::codec_for(info.param).name());
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace bkc

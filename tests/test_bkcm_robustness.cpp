@@ -109,8 +109,10 @@ TEST(BkcmRobustness, TruncationAtByteOffsetsNamesTheLostSection) {
       truncated(static_cast<std::size_t>(sections[1].offset +
                                          sections[1].length / 2)),
       "BKCM section 'REPT'", "mid REPT");
+  // One byte short of the full file: the damaged section is the LAST
+  // one — in v2 that is the 'CDCS' codec directory.
   expect_read_fails(truncated(valid_file().size() - 1),
-                    "BKCM section 'BLKS'", "one byte short");
+                    "BKCM section 'CDCS'", "one byte short");
 }
 
 TEST(BkcmRobustness, BadMagicIsRejected) {
@@ -122,8 +124,10 @@ TEST(BkcmRobustness, BadMagicIsRejected) {
 
 TEST(BkcmRobustness, UnsupportedVersionIsRejected) {
   auto file = valid_file();
-  file[4] = 2;  // version field
+  file[4] = 99;  // version field (this build reads 1..2)
   expect_read_fails(file, "unsupported version", "future version");
+  file[4] = 0;  // below the supported range
+  expect_read_fails(file, "unsupported version", "version zero");
 }
 
 TEST(BkcmRobustness, UnknownFlagBitsAreRejected) {
@@ -144,9 +148,22 @@ TEST(BkcmRobustness, FlippedKnownFlagBitIsRejected) {
 }
 
 TEST(BkcmRobustness, WrongSectionCountIsRejected) {
+  // v2 allows optional sections, so the plausibility window is 3..16 —
+  // below and above must both fail before any row is parsed.
   auto file = valid_file();
-  file[12] = 5;  // section_count field
-  expect_read_fails(file, "sections", "section count 5");
+  file[12] = 2;  // section_count field
+  expect_read_fails(file, "sections", "section count 2");
+  file[12] = 200;
+  expect_read_fails(file, "sections", "section count 200");
+}
+
+TEST(BkcmRobustness, V1ContainerRequiresExactlyThreeSections) {
+  // A v1 header claiming a fourth section is structurally invalid even
+  // though the same count is fine for v2.
+  auto file = valid_file();
+  file[4] = 1;  // version field
+  file[12] = 4;
+  expect_read_fails(file, "sections", "v1 with four sections");
 }
 
 TEST(BkcmRobustness, WrongSectionIdIsRejected) {
@@ -222,6 +239,53 @@ TEST(BkcmRobustness, CorruptPayloadBehindAValidChecksumStillFailsCleanly) {
   }
 }
 
+// ---- v2 codec-id robustness ----
+// A v2 'BLKS' block starts with a u32 codec id; a CRC-valid hostile
+// container must not be able to select a codec outside the registry,
+// and the 'CDCS' directory must agree with both the registry and the
+// streams.
+
+/// Overwrite the first stream's codec-id word (it sits right after the
+/// 1-byte varint stream count) and recompute the BLKS CRC so the
+/// corruption gets past every structural gate.
+std::vector<std::uint8_t> file_with_codec_id(std::uint32_t codec_id) {
+  auto file = valid_file();
+  const auto blks_offset =
+      static_cast<std::size_t>(valid_info().sections[2].offset);
+  for (int i = 0; i < 4; ++i) {
+    file[blks_offset + 1 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((codec_id >> (8 * i)) & 0xff);
+  }
+  fix_crc(file, 2);
+  return file;
+}
+
+TEST(BkcmRobustness, UnregisteredCodecIdBehindValidCrcIsRejected) {
+  for (const std::uint32_t hostile : {0u, 99u, 0xffffffffu}) {
+    expect_read_fails(file_with_codec_id(hostile), "unregistered codec",
+                      "codec id " + std::to_string(hostile));
+  }
+}
+
+TEST(BkcmRobustness, SwappedCodecIdFailsTheCodecDirectoryCrossCheck) {
+  // mst-delta IS registered, so the per-stream gate passes — but the
+  // payload (and the 'CDCS' directory) still describe grouped-huffman,
+  // so the read must fail before any kernel is accepted.
+  expect_read_fails(file_with_codec_id(kCodecMstDelta), "BKCM section",
+                    "registered-but-wrong codec id");
+}
+
+TEST(BkcmRobustness, CorruptCodecDirectoryBehindValidCrcIsRejected) {
+  // Flip the last byte of 'CDCS' (the tail of the codec name) and
+  // recompute its CRC: the directory no longer matches the registry.
+  const BkcmSection& cdcs = valid_info().sections[3];
+  ASSERT_EQ(cdcs.name, "CDCS");
+  auto file = valid_file();
+  file[static_cast<std::size_t>(cdcs.offset + cdcs.length - 1)] ^= 0x01;
+  fix_crc(file, 3);
+  expect_read_fails(file, "BKCM section 'CDCS'", "corrupt codec name");
+}
+
 /// MappedBkcm::open on a temp file holding `file` must throw CheckError
 /// containing `needle` — the mapped view path enforces the same gates
 /// as the buffered reader.
@@ -263,7 +327,7 @@ TEST(BkcmRobustness, MappedOpenRejectsHeaderAndPayloadFlips) {
   }
   {
     auto file = valid_file();
-    file[4] = 2;
+    file[4] = 99;
     expect_mapped_open_fails(file, "unsupported version", "future version");
   }
   for (std::size_t s = 0; s < 3; ++s) {
@@ -276,6 +340,13 @@ TEST(BkcmRobustness, MappedOpenRejectsHeaderAndPayloadFlips) {
                                  "': checksum mismatch",
                              "payload flip in " + section.name);
   }
+}
+
+TEST(BkcmRobustness, MappedOpenRejectsUnregisteredCodecId) {
+  // Same registry gate as the buffered reader — the zero-copy path must
+  // not hand out views over a stream no codec can decode.
+  expect_mapped_open_fails(file_with_codec_id(99u), "unregistered codec",
+                           "hostile codec id (mapped)");
 }
 
 TEST(BkcmRobustness, MappedOpenRejectsCorruptStreamBehindValidCrc) {
@@ -321,7 +392,7 @@ TEST(BkcmRobustness, MappedOpenMatchesBufferedReaderOnValidFile) {
   const BkcmContents contents = read_bkcm(valid_file());
   ASSERT_EQ(mapped.blocks().size(), contents.streams.size());
   for (std::size_t b = 0; b < mapped.blocks().size(); ++b) {
-    EXPECT_EQ(mapped.blocks()[b].code_lengths,
+    EXPECT_EQ(mapped.blocks()[b].artifact.code_lengths,
               contents.streams[b].code_lengths);
   }
   std::remove(path.c_str());

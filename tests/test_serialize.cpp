@@ -322,10 +322,11 @@ TEST(Serialize, ContainerRoundTripInMemory) {
   const BkcmInfo info = inspect_bkcm(file);
   EXPECT_EQ(info.version, kBkcmVersion);
   EXPECT_EQ(info.flags & kBkcmFlagClustering, kBkcmFlagClustering);
-  ASSERT_EQ(info.sections.size(), 3u);
+  ASSERT_EQ(info.sections.size(), 4u);
   EXPECT_EQ(info.sections[0].name, "CONF");
   EXPECT_EQ(info.sections[1].name, "REPT");
   EXPECT_EQ(info.sections[2].name, "BLKS");
+  EXPECT_EQ(info.sections[3].name, "CDCS");
 
   // The field-wise overload (the Engine::save_compressed path) must
   // produce the identical image, and reusing a pre-computed BkcmInfo
@@ -436,7 +437,9 @@ TEST_F(SerializeEngineTest, SaveRequiresCompress) {
   }
 }
 
-// ---- Golden container: pins format v1 byte-for-byte ----
+// ---- Golden container: pins format v2 byte-for-byte ----
+// (tests/test_backcompat.cpp pins that the PERMANENT v1 fixture,
+// tests/golden/reactnet_tiny_v1.bkcm, still loads bit-identically.)
 
 std::vector<std::uint8_t> golden_container_bytes() {
   // Fixed seed + tiny config + default options: the exact recipe is
@@ -467,11 +470,11 @@ TEST(SerializeGolden, WriterReproducesTheCheckedInContainer) {
   }
   const std::vector<std::uint8_t> golden = read_file_bytes(path);
   ASSERT_EQ(current.size(), golden.size())
-      << "BKCM v1 output size drifted — if intentional, bump "
+      << "BKCM v2 output size drifted — if intentional, bump "
          "kBkcmVersion and regenerate with BKC_UPDATE_GOLDEN=1";
   for (std::size_t i = 0; i < golden.size(); ++i) {
     ASSERT_EQ(current[i], golden[i])
-        << "BKCM v1 byte drift at offset " << i
+        << "BKCM v2 byte drift at offset " << i
         << " — if intentional, bump kBkcmVersion and regenerate with "
            "BKC_UPDATE_GOLDEN=1";
   }
@@ -564,13 +567,18 @@ TEST(SerializeMapped, MappedViewBorrowsTheMappingAndDecodesNothing) {
     EXPECT_GE(block.stream.data(), image.data());
     EXPECT_LE(block.stream.data() + block.stream.size(),
               image.data() + image.size());
-    EXPECT_EQ(block.stream_bits, stream.compressed.stream_bits);
+    EXPECT_EQ(block.artifact.codec_id, stream.codec_id);
+    EXPECT_EQ(block.artifact.compressed.stream_bits,
+              stream.compressed.stream_bits);
+    // The mapped artifact owns no stream copy — zero-copy means the
+    // bytes live only in the mapping.
+    EXPECT_TRUE(block.artifact.compressed.stream.empty());
     ASSERT_EQ(block.stream.size(), stream.compressed.stream.size());
     EXPECT_TRUE(std::equal(block.stream.begin(), block.stream.end(),
                            stream.compressed.stream.begin()));
-    EXPECT_EQ(block.code_lengths, stream.code_lengths);
-    expect_codecs_equal(block.codec, stream.codec);
-    expect_clustering_equal(block.clustering, stream.clustering);
+    EXPECT_EQ(block.artifact.code_lengths, stream.code_lengths);
+    expect_codecs_equal(block.artifact.codec, stream.codec);
+    expect_clustering_equal(block.artifact.clustering, stream.clustering);
   }
 }
 
@@ -615,7 +623,8 @@ TEST(SerializeMapped, MappedViewFeedsAssembledBlockViews) {
     EXPECT_GE(block.stream.data(), image.data());
     EXPECT_LE(block.stream.data() + block.stream.size(),
               image.data() + image.size());
-    EXPECT_EQ(block.codec, &mapped.blocks()[b].codec);
+    EXPECT_EQ(block.codec, &mapped.blocks()[b].artifact.codec);
+    EXPECT_EQ(block.codec_id, mapped.blocks()[b].artifact.codec_id);
     EXPECT_EQ(block.code_lengths.size(), block.num_sequences());
   }
   // An op layout from a different configuration must be rejected.
