@@ -14,16 +14,7 @@
 #include <vector>
 
 #include "core/bkc.h"
-
-namespace {
-
-std::string json_number(double v) {
-  std::ostringstream out;
-  out << (std::isfinite(v) ? v : 0.0);
-  return out.str();
-}
-
-}  // namespace
+#include "util/json.h"
 
 int main(int argc, char** argv) {
   using namespace bkc;
@@ -63,7 +54,15 @@ int main(int argc, char** argv) {
   }
   const double huffman_mean = mean(huffman_ratios);
 
-  std::ostringstream json_rows;
+  // Strict-JSON emitter (util/json.h): tree names contain quotes-free
+  // text today, but escaping and round-trip doubles are no longer this
+  // bench's problem. Built alongside the table; written only on --json.
+  json::Writer json_out;
+  json_out.begin_object();
+  json_out.key("bench").value("ablation_tree");
+  json_out.key("model").value(tiny ? "tiny" : "paper");
+  json_out.key("full_huffman_mean").value(huffman_mean);
+  json_out.key("trees").begin_array();
   for (std::size_t t = 0; t < trees.size(); ++t) {
     const auto& tree = trees[t];
     const compress::ModelCompressor compressor(tree.config, {});
@@ -74,26 +73,24 @@ int main(int argc, char** argv) {
         .add(report.mean_encoding_ratio)
         .add(report.decode_table_bits / report.blocks.size())
         .add(percent_str(report.mean_clustering_ratio / huffman_mean));
-    json_rows << "    {\"tree\": \"" << tree.name << "\""
-              << ", \"mean_clustering_ratio\": "
-              << json_number(report.mean_clustering_ratio)
-              << ", \"mean_encoding_ratio\": "
-              << json_number(report.mean_encoding_ratio)
-              << ", \"table_bits_per_block\": "
-              << report.decode_table_bits / report.blocks.size()
-              << ", \"fraction_of_huffman\": "
-              << json_number(report.mean_clustering_ratio / huffman_mean)
-              << "}" << (t + 1 < trees.size() ? "," : "") << "\n";
+    json_out.begin_object();
+    json_out.key("tree").value(tree.name);
+    json_out.key("mean_clustering_ratio").value(report.mean_clustering_ratio);
+    json_out.key("mean_encoding_ratio").value(report.mean_encoding_ratio);
+    json_out.key("table_bits_per_block")
+        .value(report.decode_table_bits / report.blocks.size());
+    json_out.key("fraction_of_huffman")
+        .value(report.mean_clustering_ratio / huffman_mean);
+    json_out.end_object();
   }
+  json_out.end_array();
+  json_out.end_object();
   table.print("Simplified-tree ablation over the 13 ReActNet blocks");
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     check(static_cast<bool>(out), "ablation_tree: cannot open " + json_path);
-    out << "{\n  \"bench\": \"ablation_tree\",\n  \"model\": \""
-        << (tiny ? "tiny" : "paper") << "\",\n  \"full_huffman_mean\": "
-        << json_number(huffman_mean) << ",\n  \"trees\": [\n"
-        << json_rows.str() << "  ]\n}\n";
+    out << json_out.str();
     std::cout << "wrote " << json_path << "\n";
   }
 

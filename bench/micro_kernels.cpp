@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -191,11 +192,17 @@ int main(int argc, char** argv) {
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json" && i + 1 < argc) {
-      storage.push_back(std::string("--benchmark_out=") + argv[++i]);
-      storage.push_back("--benchmark_out_format=json");
-    } else if (arg.rfind("--json=", 0) == 0) {
-      storage.push_back("--benchmark_out=" + arg.substr(7));
+    if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      // A missing or empty file name used to fall through to
+      // google-benchmark (confusing "unrecognized argument" or a
+      // --benchmark_out= with no path); reject it by name instead.
+      const std::string file =
+          arg == "--json" ? (i + 1 < argc ? argv[++i] : "") : arg.substr(7);
+      if (file.empty()) {
+        std::cerr << "micro_kernels: --json requires a file name\n";
+        return 2;
+      }
+      storage.push_back("--benchmark_out=" + file);
       storage.push_back("--benchmark_out_format=json");
     } else {
       storage.push_back(arg);

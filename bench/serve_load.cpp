@@ -29,6 +29,7 @@
 #include "core/bkc.h"
 #include "serve/registry.h"
 #include "serve/scheduler.h"
+#include "util/json.h"
 
 namespace {
 
@@ -166,46 +167,41 @@ LevelResult run_level(const serve::ModelHandle& model_a,
   return result;
 }
 
-std::string finite_or_zero(double v) {
-  // JSON has no NaN/Inf; the sweep never produces them (percentile and
-  // RunningStats check finiteness) but guard the division fallbacks.
-  std::ostringstream out;
-  out << (std::isfinite(v) ? v : 0.0);
-  return out.str();
-}
-
 void write_json(const std::string& path, const SweepConfig& config,
                 const std::vector<LevelResult>& results, int num_threads) {
-  std::ostringstream out;
-  out << "{\n";
-  out << "  \"bench\": \"serve_load\",\n";
-  out << "  \"config\": {\n";
-  out << "    \"models\": 2,\n";
-  out << "    \"threads\": " << num_threads << ",\n";
-  out << "    \"max_batch\": " << config.scheduler.max_batch << ",\n";
-  out << "    \"max_delay_us\": " << config.scheduler.max_delay.count()
-      << ",\n";
-  out << "    \"max_queue\": " << config.scheduler.max_queue << ",\n";
-  out << "    \"requests_per_level\": " << config.requests_per_level << "\n";
-  out << "  },\n";
-  out << "  \"levels\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const LevelResult& r = results[i];
-    out << "    {\"offered_qps\": " << finite_or_zero(r.offered_qps)
-        << ", \"sustained_qps\": " << finite_or_zero(r.sustained_qps)
-        << ", \"completed\": " << r.completed
-        << ", \"rejected\": " << r.rejected
-        << ", \"p50_ms\": " << finite_or_zero(r.p50_ms)
-        << ", \"p99_ms\": " << finite_or_zero(r.p99_ms)
-        << ", \"occupancy\": " << finite_or_zero(r.occupancy)
-        << ", \"mean_queue_ms\": " << finite_or_zero(r.mean_queue_ms)
-        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  // Strict-JSON writer (util/json.h). The sweep math never produces a
+  // non-finite value (percentile and RunningStats check finiteness),
+  // so the default CheckError policy guards the division fallbacks.
+  json::Writer w;
+  w.begin_object();
+  w.key("bench").value("serve_load");
+  w.key("config").begin_object();
+  w.key("models").value(2);
+  w.key("threads").value(num_threads);
+  w.key("max_batch").value(config.scheduler.max_batch);
+  w.key("max_delay_us")
+      .value(static_cast<std::int64_t>(config.scheduler.max_delay.count()));
+  w.key("max_queue").value(config.scheduler.max_queue);
+  w.key("requests_per_level").value(config.requests_per_level);
+  w.end_object();
+  w.key("levels").begin_array();
+  for (const LevelResult& r : results) {
+    w.begin_object();
+    w.key("offered_qps").value(r.offered_qps);
+    w.key("sustained_qps").value(r.sustained_qps);
+    w.key("completed").value(static_cast<std::int64_t>(r.completed));
+    w.key("rejected").value(static_cast<std::int64_t>(r.rejected));
+    w.key("p50_ms").value(r.p50_ms);
+    w.key("p99_ms").value(r.p99_ms);
+    w.key("occupancy").value(r.occupancy);
+    w.key("mean_queue_ms").value(r.mean_queue_ms);
+    w.end_object();
   }
-  out << "  ]\n";
-  out << "}\n";
+  w.end_array();
+  w.end_object();
   std::ofstream file(path);
   check(static_cast<bool>(file), "serve_load: cannot open " + path);
-  file << out.str();
+  file << w.str();
 }
 
 }  // namespace

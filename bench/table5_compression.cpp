@@ -9,16 +9,7 @@
 #include <sstream>
 
 #include "core/bkc.h"
-
-namespace {
-
-std::string json_number(double v) {
-  std::ostringstream out;
-  out << (std::isfinite(v) ? v : 0.0);
-  return out.str();
-}
-
-}  // namespace
+#include "util/json.h"
 
 int main(int argc, char** argv) {
   using namespace bkc;
@@ -82,29 +73,33 @@ int main(int argc, char** argv) {
                "bounded by Table II consistency.\n";
 
   if (!json_path.empty()) {
+    // Strict-JSON emitter (util/json.h): locale-independent round-trip
+    // doubles; a non-finite ratio would be a CheckError, not bad JSON.
+    json::Writer w;
+    w.begin_object();
+    w.key("bench").value("table5_compression");
+    w.key("model").value(tiny ? "tiny" : "paper");
+    w.key("blocks").begin_array();
+    for (std::size_t b = 0; b < report.blocks.size(); ++b) {
+      const auto& block = report.blocks[b];
+      w.begin_object();
+      w.key("block").value(static_cast<std::uint64_t>(b + 1));
+      w.key("encoding_ratio").value(block.encoding_ratio);
+      w.key("clustering_ratio").value(block.clustering_ratio);
+      w.key("huffman_ratio").value(block.huffman_ratio);
+      w.key("flipped_bit_fraction").value(block.flipped_bit_fraction);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("mean_encoding_ratio").value(report.mean_encoding_ratio);
+    w.key("mean_clustering_ratio").value(report.mean_clustering_ratio);
+    w.key("model_ratio").value(report.model_ratio);
+    w.key("model_ratio_with_tables").value(report.model_ratio_with_tables);
+    w.end_object();
     std::ofstream out(json_path);
     check(static_cast<bool>(out),
           "table5_compression: cannot open " + json_path);
-    out << "{\n  \"bench\": \"table5_compression\",\n  \"model\": \""
-        << (tiny ? "tiny" : "paper") << "\",\n  \"blocks\": [\n";
-    for (std::size_t b = 0; b < report.blocks.size(); ++b) {
-      const auto& block = report.blocks[b];
-      out << "    {\"block\": " << (b + 1)
-          << ", \"encoding_ratio\": " << json_number(block.encoding_ratio)
-          << ", \"clustering_ratio\": "
-          << json_number(block.clustering_ratio)
-          << ", \"huffman_ratio\": " << json_number(block.huffman_ratio)
-          << ", \"flipped_bit_fraction\": "
-          << json_number(block.flipped_bit_fraction) << "}"
-          << (b + 1 < report.blocks.size() ? "," : "") << "\n";
-    }
-    out << "  ],\n  \"mean_encoding_ratio\": "
-        << json_number(report.mean_encoding_ratio)
-        << ",\n  \"mean_clustering_ratio\": "
-        << json_number(report.mean_clustering_ratio)
-        << ",\n  \"model_ratio\": " << json_number(report.model_ratio)
-        << ",\n  \"model_ratio_with_tables\": "
-        << json_number(report.model_ratio_with_tables) << "\n}\n";
+    out << w.str();
     std::cout << "wrote " << json_path << "\n";
   }
   return 0;

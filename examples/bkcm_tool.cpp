@@ -11,7 +11,9 @@
 //   ./examples/bkcm_tool verify   [--file model.bkcm] [--threads N]
 //   ./examples/bkcm_tool classify [--file model.bkcm] [--images N]
 //                                 [--threads N]
-//   ./examples/bkcm_tool speedup  [--file model.bkcm]
+//   ./examples/bkcm_tool speedup  [--file model.bkcm] [--sampled]
+//                                 [--sample-seed S] [--clusters K]
+//                                 [--threads N]
 //
 // The CTest smoke targets chain `compress --tiny` with `classify` and
 // `speedup` on the same file, proving the save -> load -> inference and
@@ -33,13 +35,15 @@ using namespace bkc;
 
 /// A seed is a full uint64 (0 is valid), unlike the thread/image counts
 /// positive_flag_value covers.
-std::uint64_t seed_flag(int argc, char** argv) {
-  const std::string text = flag_string_value(argc, argv, "--seed", "42");
+std::uint64_t seed_flag(int argc, char** argv, const char* flag = "--seed",
+                        std::uint64_t fallback = 42) {
+  const std::string text =
+      flag_string_value(argc, argv, flag, std::to_string(fallback));
   std::uint64_t seed = 0;
   const auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), seed);
   check(ec == std::errc() && ptr == text.data() + text.size(),
-        "--seed: malformed unsigned integer '" + std::string(text) + "'");
+        std::string(flag) + ": malformed unsigned integer '" + text + "'");
   return seed;
 }
 
@@ -194,13 +198,41 @@ int run_speedup(int argc, char** argv) {
   // comes from the configuration alone (bnn::op_records_for).
   const std::string path(
       flag_string_value(argc, argv, "--file", "model.bkcm"));
+  const bool sampled = has_flag(argc, argv, "--sampled");
 
   const compress::MappedBkcm mapped = compress::MappedBkcm::open(path);
-  const hwsim::SpeedupReport report = hwsim::compare_model(
-      mapped.view(bnn::op_records_for(mapped.model_config())));
+  const std::vector<bnn::OpRecord> ops =
+      bnn::op_records_for(mapped.model_config());
+
+  hwsim::SpeedupReport report;
+  if (sampled) {
+    // BarrierPoint-style sampling (hwsim/sampled.h): only each phase
+    // cluster's representative block is simulated; the rest
+    // extrapolate. Baseline cycles stay exact either way.
+    hwsim::SamplingConfig config;
+    config.seed = seed_flag(argc, argv, "--sample-seed",
+                            hwsim::SamplingConfig{}.seed);
+    config.max_clusters_per_group =
+        positive_flag_value(argc, argv, "--clusters",
+                            config.max_clusters_per_group);
+    config.num_threads = positive_flag_value(argc, argv, "--threads", 2);
+    hwsim::SampledSpeedupReport sampled_report =
+        hwsim::compare_model_sampled(mapped.view(ops), config);
+    const hwsim::SamplingSummary& summary = sampled_report.summary;
+    std::cout << path << ": sampled simulation — " << summary.simulated_blocks
+              << " of " << summary.num_blocks << " blocks simulated ("
+              << summary.num_clusters << " clusters over "
+              << summary.num_geometry_groups
+              << " geometry groups; max stream-bits skew "
+              << summary.max_stream_bits_skew << ")\n";
+    report = std::move(sampled_report.report);
+  } else {
+    report = hwsim::compare_model(mapped.view(ops));
+  }
 
   std::cout << path << ": " << mapped.blocks().size()
-            << " blocks simulated from mapped streams (clustering "
+            << " blocks, " << (sampled ? "sampled" : "exact")
+            << " timing from mapped streams (clustering "
             << (mapped.clustering() ? "on" : "off") << ")\n";
   Table table({"layer", "baseline kcycles", "sw-decode kcycles",
                "hw-decode kcycles", "sw slowdown", "hw speedup"});
@@ -225,7 +257,8 @@ int run_speedup(int argc, char** argv) {
 int usage() {
   std::cerr << "usage: bkcm_tool <compress|info|verify|classify|speedup> "
                "[--out|--file <path>] [--tiny] [--seed S] [--threads N] "
-               "[--images N] [--no-clustering] [--codec <name>]\n";
+               "[--images N] [--no-clustering] [--codec <name>] "
+               "[--sampled] [--sample-seed S] [--clusters K]\n";
   return 2;
 }
 

@@ -223,6 +223,15 @@ hwsim::SpeedupReport Engine::simulate_speedup(
   return hwsim::compare_model(artifact_view(), cpu, decoder, sampling);
 }
 
+hwsim::SampledSpeedupReport Engine::simulate_speedup_sampled(
+    const hwsim::SamplingConfig& config, const hwsim::CpuParams& cpu,
+    const hwsim::DecoderParams& decoder,
+    const hwsim::SamplingParams& sampling) const {
+  check(compressed_, "Engine::simulate_speedup_sampled: call compress() first");
+  return hwsim::compare_model_sampled(artifact_view(), config, cpu, decoder,
+                                      sampling);
+}
+
 const compress::ModelReport& Engine::report() const {
   check(compressed_, "Engine::report: call compress() first");
   return report_;

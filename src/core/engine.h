@@ -17,6 +17,7 @@
 #include "compress/model_view.h"
 #include "compress/pipeline.h"
 #include "hwsim/perf_model.h"
+#include "hwsim/sampled.h"
 
 namespace bkc {
 
@@ -140,6 +141,20 @@ class Engine {
   /// counters of compress/instrumentation.h stay flat; enforced by
   /// tests/test_engine.cpp). Precondition: compress() was called.
   hwsim::SpeedupReport simulate_speedup(
+      const hwsim::CpuParams& cpu = {},
+      const hwsim::DecoderParams& decoder = {},
+      const hwsim::SamplingParams& sampling = {}) const;
+
+  /// BarrierPoint-style sampled variant of simulate_speedup
+  /// (hwsim/sampled.h): clusters equal-geometry blocks by decode-trace
+  /// signature, simulates one representative per cluster (fanned out
+  /// over config.num_threads) and extrapolates the rest. Baseline
+  /// cycles are exact by construction; sw/hw cycles carry the sampling
+  /// error bounded by the returned summary. Deterministic from
+  /// (engine state, config); also runs zero compression-pipeline work.
+  /// Precondition: compress() was called.
+  hwsim::SampledSpeedupReport simulate_speedup_sampled(
+      const hwsim::SamplingConfig& config = {},
       const hwsim::CpuParams& cpu = {},
       const hwsim::DecoderParams& decoder = {},
       const hwsim::SamplingParams& sampling = {}) const;

@@ -1,0 +1,74 @@
+#pragma once
+// Decode-trace fingerprints for sampled simulation (hwsim/sampled.h).
+//
+// BarrierPoint-style sampling needs a cheap, simulation-free summary of
+// what each compressed block would make the decoder/core pipeline do.
+// The analog of a basic-block vector here is the *code-length
+// histogram* of the block's stream: the per-sequence codeword lengths
+// are exactly what drives the software decode pass (window refills per
+// 64 stream bits), the decoding unit's fetch/decode schedule, and the
+// stream's DRAM footprint — two blocks with the same geometry and the
+// same length histogram put near-identical work through
+// simulate_binary_conv_layer. The histogram is normalized to a
+// distribution so it fingerprints the stream's *shape* independent of
+// block size; geometry is deliberately kept out of the signature and
+// handled as an exact partition key (hwsim/sampled.cpp), because equal
+// geometry makes the emitted micro-op schedule identical while a
+// histogram can only make it similar.
+//
+// Signatures are reduced by a deterministic Gaussian random projection
+// before clustering, as in SimPoint/BarrierPoint: the projection matrix
+// is generated from a caller-supplied seed through util/rng.h — no
+// global RNG, no time-derived state — so the whole sampling pipeline is
+// bit-reproducible from (view, SamplingConfig).
+
+#include <cstdint>
+#include <vector>
+
+#include "bnn/model.h"
+#include "compress/model_view.h"
+
+namespace bkc::hwsim {
+
+/// Histogram bins: code lengths 1..kSignatureBins bits, lengths beyond
+/// folding into the last bin. Grouped-Huffman codewords are at most
+/// prefix + 9 index bits and every registered codec stays well under 32
+/// bits per 9-bit sequence, so in practice nothing folds.
+inline constexpr int kSignatureBins = 32;
+
+/// Exact schedule key of a binary conv layer: two ops with equal keys
+/// generate byte-identical micro-op traces in every variant (the trace
+/// is a pure function of these fields plus the stream), so baseline
+/// cycles — which consume no stream — may be shared between them with
+/// zero error.
+struct GeometryKey {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 0;
+  std::int64_t stride = 0;
+  std::int64_t padding = 0;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t out_h = 0;
+  std::int64_t out_w = 0;
+
+  static GeometryKey from_op(const bnn::OpRecord& op);
+
+  auto operator<=>(const GeometryKey&) const = default;
+};
+
+/// The raw signature of one block: its code-length distribution
+/// (kSignatureBins entries summing to 1). CheckError when the block
+/// carries no code lengths or a zero-length codeword.
+std::vector<double> block_signature(const compress::BlockStreamView& block);
+
+/// Project every signature to `dims` dimensions with a shared Gaussian
+/// matrix generated deterministically from `seed` (entries drawn in
+/// fixed row-major order, scaled 1/sqrt(dims)). Equal (signatures,
+/// dims, seed) always yields equal output. Preconditions: dims >= 1,
+/// all signatures of length kSignatureBins.
+std::vector<std::vector<double>> project_signatures(
+    const std::vector<std::vector<double>>& signatures, int dims,
+    std::uint64_t seed);
+
+}  // namespace bkc::hwsim

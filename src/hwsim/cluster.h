@@ -1,0 +1,56 @@
+#pragma once
+// Small deterministic k-means for the sampled-simulation phase
+// clustering (hwsim/sampled.h).
+//
+// This is the BarrierPoint recipe in miniature: k-means++ seeding and
+// Lloyd iterations over the random-projected signature vectors of
+// hwsim/bbv.h — with every source of nondeterminism pinned down:
+//   * the k-means++ draws come from a caller-seeded util/rng.h
+//     generator (no global RNG, no time-derived state),
+//   * assignment ties break to the lowest centroid index and the
+//     empty-cluster repair picks the worst-fitting point with the
+//     lowest index, so reordering-equal inputs cannot flip a result,
+//   * iterations are capped (`max_iters`), and the loop also stops as
+//     soon as an iteration changes no assignment.
+// Equal (points, config) therefore always produce equal clusters; the
+// sampled simulator's bit-stability tests ride on this.
+
+#include <cstdint>
+#include <vector>
+
+namespace bkc::hwsim {
+
+struct KMeansConfig {
+  int k = 1;                  ///< requested clusters; must be in [1, n]
+  std::uint64_t seed = 0;     ///< drives k-means++ init only
+  int max_iters = 16;         ///< Lloyd iteration cap
+};
+
+struct KMeansResult {
+  /// Per-point cluster index in [0, k). Clusters may end up EMPTY when
+  /// the input has fewer distinct points than k (duplicate centroids
+  /// tie-break to the lowest index); callers iterate the non-empty ones.
+  std::vector<int> assignment;
+  std::vector<std::vector<double>> centroids;
+  int iterations = 0;  ///< Lloyd iterations actually run
+};
+
+/// Cluster `points` (all of equal dimension >= 1) into `config.k`
+/// groups. Deterministic (see file comment). Preconditions: points
+/// non-empty, 1 <= k <= points.size(), max_iters >= 1.
+KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    const KMeansConfig& config);
+
+/// Squared Euclidean distance (shared with the sampled simulator's
+/// dispersion summary). Precondition: equal sizes.
+double squared_distance(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// The member of `members` (indices into `points`) closest to
+/// `centroid`; ties break to the lowest index so the representative is
+/// stable. Precondition: members non-empty.
+std::size_t closest_member(const std::vector<std::vector<double>>& points,
+                           const std::vector<std::size_t>& members,
+                           const std::vector<double>& centroid);
+
+}  // namespace bkc::hwsim

@@ -1,0 +1,113 @@
+#pragma once
+// BarrierPoint-style sampled simulation: compare_model accuracy at a
+// fraction of the simulated trace volume.
+//
+// hwsim::compare_model simulates every binary conv layer of the model
+// in three variants; at real model sizes that full cycle simulation —
+// not compression, not I/O — dominates the wall clock of every config
+// sweep. This subsystem exploits the structure of the workload instead
+// of simulating it exhaustively:
+//
+//   1. Fingerprint each 3x3 block's decode trace as its code-length
+//      histogram (hwsim/bbv.h) and reduce via a seeded random
+//      projection — the BBV recipe.
+//   2. Partition blocks by exact layer geometry (equal GeometryKey =>
+//      byte-identical micro-op schedule), then cluster each partition's
+//      signatures with the small deterministic k-means of
+//      hwsim/cluster.h (k-means++ init off the seeded generator).
+//   3. Simulate only each cluster's REPRESENTATIVE block (the member
+//      closest to the centroid) through the existing DecoderUnit/core
+//      model, and extrapolate: every member reports its cluster
+//      representative's sw/hw cycles, so the model totals are
+//      cluster-weighted sums.
+//   4. Baseline cycles consume no stream, so they are memoized per
+//      geometry key and shared across equal-geometry layers — including
+//      the 1x1 binary convs — with ZERO error: sampled and exact
+//      baseline totals are identical, and only the sw/hw columns carry
+//      sampling error.
+//
+// The exact compare_model stays untouched as the oracle;
+// tests/test_sampled_sim.cpp pins the sampled-vs-exact relative cycle
+// error on the tiny ReActNet fixture and bit-identical results across
+// repeated runs and thread counts 1/2/4/7.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "compress/model_view.h"
+#include "hwsim/params.h"
+#include "hwsim/perf_model.h"
+
+namespace bkc::hwsim {
+
+/// Knobs of the sampled path. Everything random (projection matrix,
+/// k-means++ init) derives from `seed` alone — no global RNG, no
+/// time-derived state — so equal (view, config) yield equal reports.
+struct SamplingConfig {
+  std::uint64_t seed = 0xb4cb10c5ULL;
+  /// Random-projection target dimension for the signatures.
+  int projection_dims = 8;
+  /// Cluster budget per geometry group: k = min(this, group size).
+  /// 1 collapses every equal-geometry group onto one representative;
+  /// larger values buy accuracy for groups whose streams diverge.
+  int max_clusters_per_group = 2;
+  /// Lloyd iteration cap of the per-group k-means.
+  int max_kmeans_iters = 16;
+  /// Fan the representative simulations out over the shared thread
+  /// pool. Results are bit-identical at every thread count (each
+  /// simulation is an independent pure function; assembly is serial in
+  /// fixed order).
+  int num_threads = 1;
+};
+
+/// One phase cluster of the summary: which blocks (indices into
+/// view.blocks) were folded together and how tight the fold was.
+struct SampledClusterInfo {
+  std::size_t representative = 0;      ///< simulated member
+  std::vector<std::size_t> members;    ///< includes the representative
+  /// Projected-signature L2 distance from members to the
+  /// representative: the measured dispersion the extrapolation glosses
+  /// over (0 for singleton clusters).
+  double max_signature_distance = 0.0;
+  double mean_signature_distance = 0.0;
+  /// max |member stream bits - rep stream bits| / rep stream bits: a
+  /// direct, measured proxy for the sw/hw extrapolation error, since
+  /// the decode-side cycle costs scale with stream bits.
+  double max_stream_bits_skew = 0.0;
+};
+
+/// The measured error summary returned next to the sampled report.
+/// These are *measured dispersions of what was folded together*, not a
+/// ground-truth error — ground truth needs the exact oracle (which the
+/// tests and bench/speedup run alongside). Baseline cycles carry no
+/// sampling error by construction (geometry-exact memoization).
+struct SamplingSummary {
+  std::size_t num_blocks = 0;           ///< 3x3 blocks in the view
+  std::size_t num_geometry_groups = 0;  ///< distinct GeometryKeys (3x3)
+  std::size_t num_clusters = 0;         ///< non-empty phase clusters
+  std::size_t simulated_blocks = 0;     ///< representatives simulated
+  /// simulated_blocks / num_blocks (1.0 = nothing saved; 0 blocks => 1).
+  double simulated_fraction = 1.0;
+  /// Dispersion maxima over all clusters (see SampledClusterInfo).
+  double max_signature_distance = 0.0;
+  double max_stream_bits_skew = 0.0;
+  std::vector<SampledClusterInfo> clusters;
+};
+
+struct SampledSpeedupReport {
+  SpeedupReport report;
+  SamplingSummary summary;
+};
+
+/// The sampled counterpart of compare_model: same SpeedupReport shape
+/// (one LayerComparison per 3x3 binary conv, in op order, named after
+/// the op), cycles extrapolated as described in the file comment. Runs
+/// zero compression-pipeline work (the instrumentation counters of
+/// compress/instrumentation.h stay flat) and never mutates the view.
+SampledSpeedupReport compare_model_sampled(
+    const compress::CompressedModelView& view,
+    const SamplingConfig& config = {}, const CpuParams& cpu = {},
+    const DecoderParams& decoder = {}, const SamplingParams& sampling = {});
+
+}  // namespace bkc::hwsim

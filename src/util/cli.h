@@ -21,18 +21,52 @@ inline bool has_flag(int argc, char** argv, std::string_view flag) {
   return false;
 }
 
-/// Integer value following `flag` (e.g. "--threads 4"); `fallback` when
-/// the flag is absent. Throws CheckError when the flag is present with
-/// a missing or malformed value.
+/// Resolves both accepted value spellings — "--threads 4" and
+/// "--threads=4" — against the argument at index `i` (plus its
+/// successor for the space form). Returns true when argv[i] names
+/// `flag`, leaving the value text in `text` and recording in
+/// `used_next_arg` whether the value came from the following argument.
+/// The "=" form used to be silently ignored (the scan only compared
+/// whole arguments), so "--threads=4" fell back to the default without
+/// a word; now both forms parse, and an empty "=" value ("--threads=")
+/// is rejected by name.
+inline bool flag_value_at(int argc, char** argv, int i, std::string_view flag,
+                          std::string_view& text, bool& used_next_arg) {
+  const std::string_view arg = argv[i];
+  used_next_arg = false;
+  if (arg == flag) {
+    check(i + 1 < argc, std::string(flag) + " requires a value");
+    text = argv[i + 1];
+    used_next_arg = true;
+    return true;
+  }
+  if (arg.size() > flag.size() && arg.substr(0, flag.size()) == flag &&
+      arg[flag.size()] == '=') {
+    text = arg.substr(flag.size() + 1);
+    check(!text.empty(), std::string(flag) + " requires a value (got '" +
+                             std::string(arg) + "')");
+    return true;
+  }
+  return false;
+}
+
+/// Integer value of `flag` ("--threads 4" or "--threads=4"); `fallback`
+/// when the flag is absent. Throws CheckError, naming the flag, when
+/// the flag is present with a missing value, trailing garbage
+/// ("--threads 4abc"), or a value that does not fit in int
+/// ("--threads 99999999999").
 inline int flag_value(int argc, char** argv, std::string_view flag,
                       int fallback) {
   for (int i = 1; i < argc; ++i) {
-    if (flag != argv[i]) continue;
-    check(i + 1 < argc, std::string(flag) + " requires a value");
-    const std::string_view text = argv[i + 1];
+    std::string_view text;
+    bool used_next_arg = false;
+    if (!flag_value_at(argc, argv, i, flag, text, used_next_arg)) continue;
     int value = 0;
     const auto [ptr, ec] =
         std::from_chars(text.data(), text.data() + text.size(), value);
+    check(ec != std::errc::result_out_of_range,
+          std::string(flag) + ": value '" + std::string(text) +
+              "' is out of range");
     check(ec == std::errc() && ptr == text.data() + text.size(),
           std::string(flag) + ": malformed integer '" + std::string(text) +
               "'");
@@ -41,23 +75,25 @@ inline int flag_value(int argc, char** argv, std::string_view flag,
   return fallback;
 }
 
-/// String value following `flag` (e.g. "--out model.bkcm"); `fallback`
-/// when the flag is absent. Throws CheckError when the flag is present
-/// as the last argument (no value to take). Path arguments in the
-/// bench/example binaries go through this instead of ad-hoc argv
-/// scanning. Returns by value (like the sibling helpers) so a
-/// temporary passed as `fallback` can never leave the caller holding a
-/// dangling view.
+/// String value of `flag` ("--out model.bkcm" or "--out=model.bkcm");
+/// `fallback` when the flag is absent. Throws CheckError when the flag
+/// is present as the last argument (no value to take) or with an empty
+/// "=" value. Path arguments in the bench/example binaries go through
+/// this instead of ad-hoc argv scanning. Returns by value (like the
+/// sibling helpers) so a temporary passed as `fallback` can never
+/// leave the caller holding a dangling view.
 inline std::string flag_string_value(int argc, char** argv,
                                      std::string_view flag,
                                      std::string_view fallback) {
   for (int i = 1; i < argc; ++i) {
-    if (flag != argv[i]) continue;
-    check(i + 1 < argc, std::string(flag) + " requires a value");
-    const std::string_view value = argv[i + 1];
-    // A value that looks like another flag is a forgotten argument
-    // ("--out --tiny"), not a path called "--tiny".
-    check(value.substr(0, 2) != "--",
+    std::string_view value;
+    bool used_next_arg = false;
+    if (!flag_value_at(argc, argv, i, flag, value, used_next_arg)) continue;
+    // In the space-separated form a value that looks like another flag
+    // is a forgotten argument ("--out --tiny"), not a path called
+    // "--tiny". The "=" form is explicit about attachment, so it may
+    // carry any text.
+    check(!used_next_arg || value.substr(0, 2) != "--",
           std::string(flag) + " requires a value, got flag-like '" +
               std::string(value) + "'");
     return std::string(value);

@@ -1,0 +1,195 @@
+// Tests for the sampled-simulation building blocks: the code-length
+// histogram signatures + seeded random projection (hwsim/bbv.h) and
+// the deterministic k-means (hwsim/cluster.h).
+
+#include "hwsim/bbv.h"
+#include "hwsim/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "support/support.h"
+#include "util/check.h"
+
+namespace bkc::hwsim {
+namespace {
+
+/// BlockStreamView borrows its code lengths, so the fixture owns them.
+/// (Moving the wrapper keeps the span valid: a vector move preserves
+/// the heap buffer the span points into.)
+struct OwnedBlock {
+  std::vector<std::uint8_t> lengths;
+  compress::BlockStreamView view;
+};
+
+OwnedBlock block_with_lengths(std::vector<std::uint8_t> lengths) {
+  OwnedBlock block;
+  block.lengths = std::move(lengths);
+  // Signature code only touches code_lengths; a 1xN layout keeps
+  // num_sequences consistent for anything else that looks.
+  block.view.out_channels = 1;
+  block.view.in_channels = static_cast<std::int64_t>(block.lengths.size());
+  block.view.code_lengths = block.lengths;
+  std::uint64_t bits = 0;
+  for (const auto length : block.lengths) bits += length;
+  block.view.stream_bits = bits;
+  return block;
+}
+
+TEST(Bbv, SignatureIsNormalizedHistogram) {
+  const auto block = block_with_lengths({1, 1, 3, 3, 3, 9, 40, 200});
+  const std::vector<double> signature = block_signature(block.view);
+  ASSERT_EQ(signature.size(), static_cast<std::size_t>(kSignatureBins));
+  EXPECT_DOUBLE_EQ(signature[0], 2.0 / 8.0);  // length 1
+  EXPECT_DOUBLE_EQ(signature[2], 3.0 / 8.0);  // length 3
+  EXPECT_DOUBLE_EQ(signature[8], 1.0 / 8.0);  // length 9
+  // Lengths beyond the bin range fold into the last bin.
+  EXPECT_DOUBLE_EQ(signature[kSignatureBins - 1], 2.0 / 8.0);
+  double total = 0.0;
+  for (const double s : signature) total += s;
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(Bbv, SignatureIsSizeInvariant) {
+  // Same length *distribution* at 3x the block size => same signature:
+  // the fingerprint captures the stream's shape, not its size.
+  const auto small = block_with_lengths({1, 2, 2, 5});
+  const auto large =
+      block_with_lengths({1, 1, 1, 2, 2, 2, 2, 2, 2, 5, 5, 5});
+  EXPECT_EQ(block_signature(small.view), block_signature(large.view));
+}
+
+TEST(Bbv, SignatureRejectsDegenerateBlocks) {
+  EXPECT_THROW(block_signature(block_with_lengths({}).view), CheckError);
+  EXPECT_THROW(block_signature(block_with_lengths({3, 0, 2}).view), CheckError);
+}
+
+TEST(Bbv, ProjectionIsDeterministicAndSeedSensitive) {
+  const std::vector<std::vector<double>> signatures = {
+      block_signature(block_with_lengths({1, 2, 3, 4, 5}).view),
+      block_signature(block_with_lengths({7, 7, 7, 9}).view),
+  };
+  const auto a = project_signatures(signatures, 4, 123);
+  const auto b = project_signatures(signatures, 4, 123);
+  EXPECT_EQ(a, b);  // bit-identical, not just close
+  const auto c = project_signatures(signatures, 4, 124);
+  EXPECT_NE(a, c);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0].size(), 4u);
+}
+
+TEST(Bbv, ProjectionOfOneSignatureIndependentOfBatch) {
+  // The matrix is shared and fixed by (dims, seed): a signature's
+  // projection must not change when other signatures ride along.
+  const auto sig = block_signature(block_with_lengths({2, 3, 3, 8}).view);
+  const auto other = block_signature(block_with_lengths({1, 1, 9, 9}).view);
+  const auto alone = project_signatures({sig}, 6, 7);
+  const auto batched = project_signatures({other, sig}, 6, 7);
+  EXPECT_EQ(alone[0], batched[1]);
+}
+
+TEST(Bbv, ProjectionRejectsBadArguments) {
+  const std::vector<std::vector<double>> good = {
+      block_signature(block_with_lengths({1, 2}).view)};
+  EXPECT_THROW(project_signatures(good, 0, 1), CheckError);
+  const std::vector<std::vector<double>> short_sig = {{0.5, 0.5}};
+  EXPECT_THROW(project_signatures(short_sig, 2, 1), CheckError);
+}
+
+TEST(Bbv, GeometryKeyDistinguishesLayoutNotName) {
+  const auto ops = bnn::op_records_for(test::tiny_config(1));
+  std::vector<const bnn::OpRecord*> conv3x3;
+  for (const auto& op : ops) {
+    if (op.op_class == bnn::OpClass::kConv3x3 && op.precision_bits == 1) {
+      conv3x3.push_back(&op);
+    }
+  }
+  // The 13-block MobileNet schedule: blocks 6..10 are the five
+  // {512,512,1} (width-divided) repeats and share a geometry; the first
+  // and last blocks do not.
+  ASSERT_EQ(conv3x3.size(), 13u);
+  EXPECT_NE(GeometryKey::from_op(*conv3x3.front()),
+            GeometryKey::from_op(*conv3x3.back()));
+  for (std::size_t b = 7; b <= 10; ++b) {
+    EXPECT_EQ(GeometryKey::from_op(*conv3x3[6]),
+              GeometryKey::from_op(*conv3x3[b]));
+  }
+}
+
+TEST(Cluster, KMeansSeparatesObviousClusters) {
+  const std::vector<std::vector<double>> points = {
+      {0.0, 0.0}, {0.1, 0.0}, {0.0, 0.1},
+      {10.0, 10.0}, {10.1, 10.0}, {10.0, 10.1}};
+  const KMeansResult result = kmeans(points, {.k = 2, .seed = 5});
+  ASSERT_EQ(result.assignment.size(), points.size());
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_EQ(result.assignment[0], result.assignment[2]);
+  EXPECT_EQ(result.assignment[3], result.assignment[4]);
+  EXPECT_EQ(result.assignment[3], result.assignment[5]);
+  EXPECT_NE(result.assignment[0], result.assignment[3]);
+}
+
+TEST(Cluster, KMeansIsDeterministic) {
+  std::vector<std::vector<double>> points;
+  std::uint64_t state = 99;
+  for (int i = 0; i < 40; ++i) {
+    const double x =
+        static_cast<double>(splitmix64(state) % 1000) / 1000.0;
+    const double y =
+        static_cast<double>(splitmix64(state) % 1000) / 1000.0;
+    points.push_back({x, y, x + y});
+  }
+  const KMeansConfig config{.k = 5, .seed = 17, .max_iters = 16};
+  const KMeansResult a = kmeans(points, config);
+  const KMeansResult b = kmeans(points, config);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.centroids, b.centroids);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Cluster, KMeansHandlesDuplicatePoints) {
+  // Fewer distinct points than k: the k-means++ fallback and the
+  // empty-cluster rule must not throw, and every point of one
+  // duplicate set must land in one cluster.
+  const std::vector<std::vector<double>> points = {
+      {1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  const KMeansResult result = kmeans(points, {.k = 3, .seed = 1});
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_EQ(result.assignment[0], result.assignment[2]);
+  EXPECT_EQ(result.assignment[0], result.assignment[3]);
+}
+
+TEST(Cluster, KMeansSingleClusterIsMean) {
+  const std::vector<std::vector<double>> points = {
+      {0.0, 4.0}, {2.0, 0.0}, {4.0, 2.0}};
+  const KMeansResult result = kmeans(points, {.k = 1, .seed = 3});
+  ASSERT_EQ(result.centroids.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.centroids[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(result.centroids[0][1], 2.0);
+}
+
+TEST(Cluster, KMeansRejectsBadConfigs) {
+  const std::vector<std::vector<double>> points = {{1.0}, {2.0}};
+  EXPECT_THROW(kmeans({}, {.k = 1}), CheckError);
+  EXPECT_THROW(kmeans(points, {.k = 0}), CheckError);
+  EXPECT_THROW(kmeans(points, {.k = 3}), CheckError);
+  EXPECT_THROW(kmeans(points, {.k = 1, .seed = 0, .max_iters = 0}),
+               CheckError);
+  const std::vector<std::vector<double>> mixed = {{1.0}, {2.0, 3.0}};
+  EXPECT_THROW(kmeans(mixed, {.k = 1}), CheckError);
+}
+
+TEST(Cluster, ClosestMemberBreaksTiesToLowestIndex) {
+  const std::vector<std::vector<double>> points = {
+      {5.0}, {1.0}, {3.0}, {1.0}};
+  // Members 1 and 3 are equidistant (identical) — lowest index wins.
+  const std::vector<std::size_t> members = {1, 2, 3};
+  EXPECT_EQ(closest_member(points, members, {1.0}), 1u);
+  EXPECT_EQ(closest_member(points, members, {2.9}), 2u);
+  EXPECT_THROW(closest_member(points, {}, {1.0}), CheckError);
+}
+
+}  // namespace
+}  // namespace bkc::hwsim

@@ -42,6 +42,21 @@ TEST(Cli, FlagValueParsesAndFallsBack) {
   EXPECT_EQ(flag_value(args.argc(), args.argv(), "--images", 8), 8);
 }
 
+TEST(Cli, FlagValueParsesEqualsForm) {
+  // "--threads=4" used to be silently skipped (the scan only compared
+  // whole arguments), so the fallback was returned without a word.
+  Argv args({"--threads=4", "--repeat=12"});
+  EXPECT_EQ(flag_value(args.argc(), args.argv(), "--threads", 2), 4);
+  EXPECT_EQ(flag_value(args.argc(), args.argv(), "--repeat", 1), 12);
+  EXPECT_EQ(positive_flag_value(args.argc(), args.argv(), "--threads", 2), 4);
+}
+
+TEST(Cli, FlagValueEqualsFormDoesNotMatchPrefixFlags) {
+  // "--threads-per-core=4" is a different flag, not "--threads".
+  Argv args({"--threads-per-core=4"});
+  EXPECT_EQ(flag_value(args.argc(), args.argv(), "--threads", 2), 2);
+}
+
 TEST(Cli, FlagValueRejectsMissingAndMalformedValues) {
   Argv missing({"--threads"});
   EXPECT_THROW(flag_value(missing.argc(), missing.argv(), "--threads", 1),
@@ -49,9 +64,53 @@ TEST(Cli, FlagValueRejectsMissingAndMalformedValues) {
   Argv malformed({"--threads", "four"});
   EXPECT_THROW(flag_value(malformed.argc(), malformed.argv(), "--threads", 1),
                CheckError);
-  Argv trailing({"--threads", "4x"});
-  EXPECT_THROW(flag_value(trailing.argc(), trailing.argv(), "--threads", 1),
-               CheckError);
+  for (const char* garbage : {"4x", "4abc"}) {
+    Argv trailing({"--threads", garbage});
+    try {
+      flag_value(trailing.argc(), trailing.argv(), "--threads", 1);
+      FAIL() << "trailing garbage '" << garbage << "' must throw";
+    } catch (const CheckError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("--threads"), std::string::npos) << what;
+      EXPECT_NE(what.find(garbage), std::string::npos) << what;
+    }
+    Argv equals_trailing({std::string("--threads=") + garbage});
+    EXPECT_THROW(flag_value(equals_trailing.argc(), equals_trailing.argv(),
+                            "--threads", 1),
+                 CheckError);
+  }
+}
+
+TEST(Cli, FlagValueRejectsEmptyEqualsValue) {
+  Argv args({"--threads="});
+  try {
+    flag_value(args.argc(), args.argv(), "--threads", 1);
+    FAIL() << "--threads= must throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--threads"), std::string::npos) << what;
+    EXPECT_NE(what.find("requires a value"), std::string::npos) << what;
+  }
+}
+
+TEST(Cli, FlagValueRejectsOutOfRangeValues) {
+  // 99999999999 does not fit in int; from_chars reports
+  // result_out_of_range, which must surface as a CheckError naming the
+  // flag, not wrap around or fall back.
+  for (const char* huge : {"99999999999", "-99999999999"}) {
+    Argv space({"--threads", huge});
+    try {
+      flag_value(space.argc(), space.argv(), "--threads", 1);
+      FAIL() << huge << " must throw";
+    } catch (const CheckError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("--threads"), std::string::npos) << what;
+      EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+    }
+    Argv equals({std::string("--threads=") + huge});
+    EXPECT_THROW(flag_value(equals.argc(), equals.argv(), "--threads", 1),
+                 CheckError);
+  }
 }
 
 TEST(Cli, PositiveFlagValueAcceptsPositiveCounts) {
@@ -88,6 +147,19 @@ TEST(Cli, FlagStringValueTakesTheFirstOccurrence) {
   Argv args({"--out", "first.bkcm", "--out", "second.bkcm"});
   EXPECT_EQ(flag_string_value(args.argc(), args.argv(), "--out", "fallback"),
             "first.bkcm");
+}
+
+TEST(Cli, FlagStringValueParsesEqualsForm) {
+  Argv args({"--out=model.bkcm"});
+  EXPECT_EQ(flag_string_value(args.argc(), args.argv(), "--out", "fallback"),
+            "model.bkcm");
+  Argv empty({"--out="});
+  EXPECT_THROW(flag_string_value(empty.argc(), empty.argv(), "--out", "x"),
+               CheckError);
+  // An "=" value may contain "=" itself (only the first one splits).
+  Argv nested({"--out=a=b.bkcm"});
+  EXPECT_EQ(flag_string_value(nested.argc(), nested.argv(), "--out", "x"),
+            "a=b.bkcm");
 }
 
 TEST(Cli, FlagStringValueRejectsMissingValue) {

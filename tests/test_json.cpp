@@ -1,0 +1,156 @@
+// Tests for the strict-JSON writer (util/json.h) the bench report
+// emitters share: escaping, locale-independent round-trip number
+// formatting, the non-finite policy, comma/nesting bookkeeping and the
+// misuse checks.
+
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "util/check.h"
+
+namespace bkc::json {
+namespace {
+
+TEST(Json, QuotedEscapesSpecialCharacters) {
+  EXPECT_EQ(quoted("plain"), "\"plain\"");
+  EXPECT_EQ(quoted("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(quoted("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(quoted("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(quoted("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(quoted(std::string_view("nul\0byte", 8)), "\"nul\\u0000byte\"");
+  EXPECT_EQ(quoted("\x01"), "\"\\u0001\"");
+  // UTF-8 passes through untouched.
+  EXPECT_EQ(quoted("caf\xc3\xa9"), "\"caf\xc3\xa9\"");
+}
+
+TEST(Json, NumberRoundTripsExactly) {
+  // The shortest round-trip form must parse back to the same bits —
+  // the default 6-significant-digit ostream formatting does not.
+  for (const double v : {1.0 / 3.0, 0.1, 1e-20, 1.2345678901234567,
+                         123456789.123456789, -0.0, 1.7e308}) {
+    const std::string text = number(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+  EXPECT_EQ(number(1.0), "1");
+  EXPECT_EQ(number(-2.5), "-2.5");
+  // No locale can sneak a ',' decimal separator in via to_chars.
+  EXPECT_EQ(number(0.5).find(','), std::string::npos);
+}
+
+TEST(Json, NumberNonFinitePolicy) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(number(nan), CheckError);
+  EXPECT_THROW(number(inf, NonFinitePolicy::kCheck), CheckError);
+  EXPECT_EQ(number(nan, NonFinitePolicy::kNull), "null");
+  EXPECT_EQ(number(-inf, NonFinitePolicy::kNull), "null");
+}
+
+TEST(Json, WriterBuildsNestedDocument) {
+  Writer w;
+  w.begin_object();
+  w.key("bench").value("demo");
+  w.key("count").value(3);
+  w.key("ratio").value(1.25);
+  w.key("ok").value(true);
+  w.key("missing").null();
+  w.key("rows").begin_array();
+  w.begin_object();
+  w.key("name").value("a\"b");
+  w.end_object();
+  w.value(7);
+  w.end_array();
+  w.key("empty").begin_array();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\n"
+            "  \"bench\": \"demo\",\n"
+            "  \"count\": 3,\n"
+            "  \"ratio\": 1.25,\n"
+            "  \"ok\": true,\n"
+            "  \"missing\": null,\n"
+            "  \"rows\": [\n"
+            "    {\n"
+            "      \"name\": \"a\\\"b\"\n"
+            "    },\n"
+            "    7\n"
+            "  ],\n"
+            "  \"empty\": []\n"
+            "}\n");
+}
+
+TEST(Json, WriterTopLevelScalarAndEmptyObject) {
+  Writer scalar;
+  scalar.value(42);
+  EXPECT_EQ(scalar.str(), "42\n");
+
+  Writer empty;
+  empty.begin_object();
+  empty.end_object();
+  EXPECT_EQ(empty.str(), "{}\n");
+}
+
+TEST(Json, WriterAppliesNonFinitePolicy) {
+  Writer strict;
+  strict.begin_array();
+  EXPECT_THROW(strict.value(std::nan("")), CheckError);
+
+  Writer lenient(NonFinitePolicy::kNull);
+  lenient.begin_array();
+  lenient.value(std::nan(""));
+  lenient.end_array();
+  EXPECT_EQ(lenient.str(), "[\n  null\n]\n");
+}
+
+TEST(Json, WriterRejectsMisuse) {
+  {
+    Writer w;  // value in object without key
+    w.begin_object();
+    EXPECT_THROW(w.value(1), CheckError);
+  }
+  {
+    Writer w;  // key twice
+    w.begin_object();
+    w.key("a");
+    EXPECT_THROW(w.key("b"), CheckError);
+  }
+  {
+    Writer w;  // key inside array
+    w.begin_array();
+    EXPECT_THROW(w.key("a"), CheckError);
+  }
+  {
+    Writer w;  // mismatched close
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), CheckError);
+  }
+  {
+    Writer w;  // close with dangling key
+    w.begin_object();
+    w.key("a");
+    EXPECT_THROW(w.end_object(), CheckError);
+  }
+  {
+    Writer w;  // str() on incomplete document
+    w.begin_object();
+    EXPECT_THROW(w.str(), CheckError);
+    Writer nothing;
+    EXPECT_THROW(nothing.str(), CheckError);
+  }
+  {
+    Writer w;  // second top-level value
+    w.value(1);
+    EXPECT_THROW(w.value(2), CheckError);
+    EXPECT_THROW(w.begin_object(), CheckError);
+  }
+}
+
+}  // namespace
+}  // namespace bkc::json

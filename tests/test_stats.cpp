@@ -91,6 +91,36 @@ TEST(RunningStats, MatchesBatchComputation) {
   EXPECT_DOUBLE_EQ(rs.max(), 42);
 }
 
+TEST(RunningStats, SurvivesCatastrophicCancellation) {
+  // Regression guard for the classic naive-accumulator failure: with
+  // mean >> stddev, Σx² − n·mean² subtracts two nearly equal ~1e17
+  // numbers and the double rounding can leave a NEGATIVE "variance"
+  // (sqrt → NaN). Welford's update never forms those large partial
+  // sums, so the result must stay non-negative and accurate. These are
+  // exactly the bench-harness numbers: cycle counts near 3e8 with
+  // single-digit jitter.
+  const double base = 3.0e8;
+  const std::vector<double> jitter{0.0, 1.0, 2.0, 3.0, 4.0,
+                                   5.0, 6.0, 7.0, 8.0, 9.0};
+  RunningStats rs;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double j : jitter) {
+    const double x = base + j;
+    rs.add(x);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double n = static_cast<double>(jitter.size());
+  const double naive = sum_sq / n - (sum / n) * (sum / n);
+  // The naive form has lost every significant digit of the true
+  // variance (8.25) at this magnitude; if this ever starts passing,
+  // the fixture stopped being a cancellation stress.
+  EXPECT_GT(std::abs(naive - 8.25), 1.0) << naive;
+  EXPECT_GE(rs.variance(), 0.0);
+  EXPECT_NEAR(rs.variance(), 8.25, 1e-6);
+  EXPECT_NEAR(rs.mean(), base + 4.5, 1e-6);
+}
+
 TEST(RunningStats, EmptyThrows) {
   RunningStats rs;
   EXPECT_THROW(rs.mean(), CheckError);
