@@ -15,8 +15,20 @@ Tensor binary_conv2d(const PackedFeature& input, const PackedKernel& kernel,
             k_shape.to_string() + ")");
   const FeatureShape out_shape = geometry.output_shape(in_shape, k_shape);
   Tensor out(out_shape);
+  binary_conv2d_into(input, kernel, geometry, out);
+  return out;
+}
+
+void binary_conv2d_into(const PackedFeature& input, const PackedKernel& kernel,
+                        ConvGeometry geometry, TensorView out) {
+  check(input.shape().channels == kernel.shape().in_channels,
+        "binary_conv2d_into: channel mismatch between input and kernel");
   check(input.words_per_pixel() == kernel.words_per_position(),
-        "binary_conv2d: packing mismatch");
+        "binary_conv2d_into: packing mismatch");
+  const FeatureShape out_shape =
+      geometry.output_shape(input.shape(), kernel.shape());
+  check(out.shape() == out_shape,
+        "binary_conv2d_into: out view does not have the output shape");
 
   // Dispatch is resolved once, on the calling thread; every chunk runs
   // the same kernel. Output channels are independent (each one reads
@@ -26,11 +38,18 @@ Tensor binary_conv2d(const PackedFeature& input, const PackedKernel& kernel,
   // results bit-identical at any thread count *and* for any registered
   // kernel (the contract tests/test_bconv_simd.cpp enforces).
   const ConvKernelFn fn = active_conv_kernel().fn;
-  parallel_for(out_shape.channels, current_num_threads(),
+  const int num_threads = current_num_threads();
+  if (num_threads <= 1) {
+    // Serial case bypasses parallel_for: constructing its std::function
+    // argument can heap-allocate, which the zero-allocation classify
+    // contract forbids. Same arithmetic, same full channel range.
+    fn(input, kernel, geometry, out, 0, out_shape.channels);
+    return;
+  }
+  parallel_for(out_shape.channels, num_threads,
                [&](std::int64_t o_begin, std::int64_t o_end) {
                  fn(input, kernel, geometry, out, o_begin, o_end);
                });
-  return out;
 }
 
 Tensor binary_conv2d(const Tensor& input, const PackedKernel& kernel,

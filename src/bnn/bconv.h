@@ -36,6 +36,16 @@ Tensor binary_conv2d(const PackedFeature& input, const PackedKernel& kernel,
 Tensor binary_conv2d(const Tensor& input, const PackedKernel& kernel,
                      ConvGeometry geometry);
 
+/// Allocation-free core the Tensor-returning overload wraps: convolve
+/// into caller-provided storage of exactly the geometry's output shape
+/// (CheckError otherwise). The caller owns the pack scratch (typically
+/// the Workspace's, filled via pack_feature_into). When
+/// current_num_threads() is 1 the kernel is invoked directly — no
+/// parallel_for, no std::function — so the single-thread path performs
+/// zero heap allocations.
+void binary_conv2d_into(const PackedFeature& input, const PackedKernel& kernel,
+                        ConvGeometry geometry, TensorView out);
+
 /// Number of xnor+popcount word operations one call performs; the
 /// timing model uses the same accounting.
 std::int64_t binary_conv2d_word_ops(const FeatureShape& input,

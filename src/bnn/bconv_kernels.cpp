@@ -55,7 +55,7 @@ namespace {
 // is the reference every other kernel is diffed against, so it must not
 // share fast-path shortcuts - only the per-pixel arithmetic helper.
 void conv_kernel_scalar(const PackedFeature& input, const PackedKernel& kernel,
-                        ConvGeometry geometry, Tensor& out,
+                        ConvGeometry geometry, TensorView out,
                         std::int64_t o_begin, std::int64_t o_end) {
   const FeatureShape& out_shape = out.shape();
   const std::int64_t receptive = kernel.shape().receptive_size();

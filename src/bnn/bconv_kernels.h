@@ -34,10 +34,13 @@ namespace bkc::bnn {
 /// inside binary_conv2d's parallel_for, so implementations must write
 /// only the rows of their channel range. Preconditions (checked by
 /// binary_conv2d before dispatch): input/kernel channels and packing
-/// match, out has the output shape.
+/// match, out has the output shape. `out` is a view so the destination
+/// can live in a Workspace arena (Tensor converts implicitly); kernels
+/// assign every pixel of their range, never read-modify-write, so the
+/// destination may be uninitialised.
 using ConvKernelFn = void (*)(const PackedFeature& input,
                               const PackedKernel& kernel,
-                              ConvGeometry geometry, Tensor& out,
+                              ConvGeometry geometry, TensorView out,
                               std::int64_t o_begin, std::int64_t o_end);
 
 /// A registered kernel implementation. `name` is the stable identifier
@@ -94,7 +97,7 @@ std::int64_t scalar_pixel_matches(const PackedFeature& input,
 /// -mavx2). Only registered - and only callable - when
 /// simd::cpu_supports_avx2() is true.
 void conv_kernel_avx2(const PackedFeature& input, const PackedKernel& kernel,
-                      ConvGeometry geometry, Tensor& out,
+                      ConvGeometry geometry, TensorView out,
                       std::int64_t o_begin, std::int64_t o_end);
 #endif
 

@@ -106,8 +106,8 @@ InteriorRange interior_range(std::int64_t out_extent, std::int64_t in_extent,
 /// unroll completely.
 template <int kWpp, bool kIs3x3>
 void conv_avx2_impl(const PackedFeature& input, const PackedKernel& kernel,
-                    ConvGeometry geometry, Tensor& out, std::int64_t o_begin,
-                    std::int64_t o_end) {
+                    ConvGeometry geometry, TensorView out,
+                    std::int64_t o_begin, std::int64_t o_end) {
   const FeatureShape& in_shape = input.shape();
   const KernelShape& k_shape = kernel.shape();
   const FeatureShape& out_shape = out.shape();
@@ -211,7 +211,7 @@ void conv_avx2_impl(const PackedFeature& input, const PackedKernel& kernel,
 }  // namespace
 
 void conv_kernel_avx2(const PackedFeature& input, const PackedKernel& kernel,
-                      ConvGeometry geometry, Tensor& out,
+                      ConvGeometry geometry, TensorView out,
                       std::int64_t o_begin, std::int64_t o_end) {
   const KernelShape& k_shape = kernel.shape();
   BKC_WORDS_SWITCH(input.words_per_pixel(), kWpp, [&] {

@@ -10,15 +10,24 @@ std::uint64_t channel_tail_mask(std::int64_t channels) {
   return rem == 0 ? ~0ULL : ((1ULL << rem) - 1);
 }
 
-PackedFeature::PackedFeature(FeatureShape shape)
-    : shape_(shape),
-      words_per_pixel_(words_per_group(shape.channels)),
-      tail_mask_(channel_tail_mask(shape.channels)),
-      words_(static_cast<std::size_t>(shape.height * shape.width *
-                                      words_per_pixel_),
-             0) {
+PackedFeature::PackedFeature(FeatureShape shape) { reshape(shape); }
+
+void PackedFeature::reshape(FeatureShape shape) {
   check(shape.channels > 0 && shape.height > 0 && shape.width > 0,
-        "PackedFeature: dimensions must be positive");
+        "PackedFeature::reshape: dimensions must be positive");
+  shape_ = shape;
+  words_per_pixel_ = words_per_group(shape.channels);
+  tail_mask_ = channel_tail_mask(shape.channels);
+  // assign() reuses capacity when it suffices (the reserve_words
+  // contract); zero-filling restores the tail-word layout invariant.
+  words_.assign(
+      static_cast<std::size_t>(shape.height * shape.width * words_per_pixel_),
+      0);
+}
+
+void PackedFeature::reserve_words(std::int64_t words) {
+  check(words >= 0, "PackedFeature::reserve_words: negative count");
+  words_.reserve(static_cast<std::size_t>(words));
 }
 
 std::span<const std::uint64_t> PackedFeature::at(std::int64_t y,
@@ -114,6 +123,28 @@ PackedFeature pack_feature(const Tensor& input) {
     }
   }
   return packed;
+}
+
+void pack_feature_into(ConstTensorView input, PackedFeature& out) {
+  out.reshape(input.shape());
+  const FeatureShape& s = input.shape();
+  const std::int64_t pixels = s.height * s.width;
+  const std::int64_t wpp = out.words_per_pixel();
+  std::uint64_t* words = out.words().data();
+  const float* data = input.data().data();
+  // Channel-major like the CHW input: each channel contributes one bit
+  // lane, OR'd over its whole spatial plane with sequential float
+  // reads. Words start zeroed (reshape), so OR alone builds the map
+  // and the tail invariant (bits above `channels` stay zero) holds by
+  // construction.
+  for (std::int64_t c = 0; c < s.channels; ++c) {
+    const std::uint64_t mask = 1ULL << (c % kWordBits);
+    std::uint64_t* word = words + c / kWordBits;
+    const float* plane = data + c * pixels;
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      word[p * wpp] |= plane[p] >= 0.0f ? mask : 0;
+    }
+  }
 }
 
 Tensor unpack_feature(const PackedFeature& packed) {

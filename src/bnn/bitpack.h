@@ -49,6 +49,17 @@ class PackedFeature {
   /// Zero-initialised (all weights -1) packed map of the given shape.
   explicit PackedFeature(FeatureShape shape);
 
+  /// Re-dimension in place to `shape`, zeroing all words. Reuses the
+  /// existing word storage when it is large enough (see
+  /// reserve_words), so a Workspace can recycle one PackedFeature as
+  /// pack scratch across every binary conv of a model without heap
+  /// traffic.
+  void reshape(FeatureShape shape);
+
+  /// Pre-grow the word storage so later reshape() calls up to `words`
+  /// total words never allocate.
+  void reserve_words(std::int64_t words);
+
   const FeatureShape& shape() const { return shape_; }
   std::int64_t words_per_pixel() const { return words_per_pixel_; }
   std::uint64_t tail_mask() const { return tail_mask_; }
@@ -63,6 +74,13 @@ class PackedFeature {
 
   /// Total payload bits actually used (channels * height * width).
   std::int64_t payload_bits() const { return shape_.size(); }
+
+  /// Whole word storage, pixel-major: pixel (y, x) owns words
+  /// [(y*width + x) * words_per_pixel, ...). Writers must preserve the
+  /// layout invariant (tail-word bits above `channels` stay zero);
+  /// pack_feature_into is the intended bulk writer.
+  std::span<const std::uint64_t> words() const { return words_; }
+  std::span<std::uint64_t> words() { return words_; }
 
  private:
   FeatureShape shape_;
@@ -107,7 +125,16 @@ class PackedKernel {
 };
 
 /// Binarize (Eq. 1: bit = v >= 0) and channel-pack a float feature map.
+/// Reference implementation: one checked set_bit per element, obviously
+/// correct, used as the bit-identity oracle for pack_feature_into.
 PackedFeature pack_feature(const Tensor& input);
+
+/// Fast pack into caller-provided storage: reshapes `out` to the input
+/// shape (no allocation once storage is reserved) and ORs whole channel
+/// planes into the packed words with one branch-free pass per channel.
+/// Bit-for-bit identical to pack_feature; the arena-backed forward path
+/// packs through here using the Workspace pack scratch.
+void pack_feature_into(ConstTensorView input, PackedFeature& out);
 
 /// Expand a packed feature back to a +/-1-valued float tensor.
 Tensor unpack_feature(const PackedFeature& packed);

@@ -4,9 +4,29 @@
 #include <cmath>
 
 #include "bnn/binarize.h"
+#include "bnn/memory_plan.h"
 #include "util/check.h"
 
 namespace bkc::bnn {
+
+// ------------------------------------------------------------ Layer base
+
+void Layer::forward_into(ConstTensorView input, TensorView output,
+                         Workspace& workspace) const {
+  // Compatibility bridge for layers that only implement forward():
+  // materialize, run the allocating path, copy out. Every layer in
+  // this file overrides with a true zero-allocation implementation.
+  (void)workspace;
+  const Tensor result = forward(materialize(input));
+  check(result.shape() == output.shape(),
+        "Layer::forward_into: output view shape does not match the "
+        "forward() result");
+  copy_into(result, output);
+}
+
+FeatureShape Layer::output_shape(const FeatureShape& input_shape) const {
+  return info(input_shape).output_shape;
+}
 
 std::string op_class_name(OpClass op) {
   switch (op) {
@@ -30,6 +50,17 @@ Tensor SignActivation::forward(const Tensor& input) const {
   return binarize(input);
 }
 
+void SignActivation::forward_into(ConstTensorView input, TensorView output,
+                                  Workspace& workspace) const {
+  (void)workspace;
+  check(output.shape() == input.shape(),
+        "SignActivation::forward_into: shape mismatch");
+  const float* in = input.data().data();
+  float* out = output.data().data();
+  const std::int64_t n = input.size();
+  for (std::int64_t i = 0; i < n; ++i) out[i] = sign_binarize(in[i]);
+}
+
 LayerInfo SignActivation::info(const FeatureShape& input_shape) const {
   return {.name = name(),
           .op_class = OpClass::kOther,
@@ -47,6 +78,19 @@ BinaryConv2d::BinaryConv2d(std::string name, PackedKernel kernel,
 
 Tensor BinaryConv2d::forward(const Tensor& input) const {
   return binary_conv2d(input, kernel_, geometry_);
+}
+
+void BinaryConv2d::forward_into(ConstTensorView input, TensorView output,
+                                Workspace& workspace) const {
+  // The pack scratch is the workspace's shared PackedFeature: reshape
+  // reuses its reserved word storage, so packing allocates nothing.
+  // pack_feature_into binarizes with the same bit = v >= 0 rule as the
+  // legacy binarize + pack two-step, which is also why a preceding
+  // SignActivation can be skipped entirely (Sequential::forward_into
+  // does): sign(v) >= 0 exactly when v >= 0.
+  PackedFeature& packed = workspace.pack_scratch();
+  pack_feature_into(input, packed);
+  binary_conv2d_into(packed, kernel_, geometry_, output);
 }
 
 LayerInfo BinaryConv2d::info(const FeatureShape& input_shape) const {
@@ -107,14 +151,38 @@ Int8Conv2d::Int8Conv2d(std::string name, const WeightTensor& weights,
 }
 
 Tensor Int8Conv2d::forward(const Tensor& input) const {
+  const FeatureShape out_shape =
+      geometry_.output_shape(input.shape(), shape_);
+  std::vector<std::int8_t> q_input(input.data().size());
+  Tensor out(out_shape);
+  forward_impl(input, out, q_input);
+  return out;
+}
+
+void Int8Conv2d::forward_into(ConstTensorView input, TensorView output,
+                              Workspace& workspace) const {
+  // Quantization scratch comes from the arena and is released LIFO
+  // before returning, so consecutive int8 layers reuse the same bytes.
+  Arena& arena = workspace.arena();
+  const std::size_t mark = arena.mark();
+  forward_impl(input, output,
+               arena.allocate_span<std::int8_t>(input.size()));
+  arena.rewind(mark);
+}
+
+void Int8Conv2d::forward_impl(ConstTensorView input, TensorView out,
+                              std::span<std::int8_t> q_input) const {
   const FeatureShape in_shape = input.shape();
   check(in_shape.channels == shape_.in_channels,
         "Int8Conv2d: input channel mismatch");
   const FeatureShape out_shape = geometry_.output_shape(in_shape, shape_);
+  check(out.shape() == out_shape,
+        "Int8Conv2d: output view shape mismatch");
+  check(q_input.size() == input.data().size(),
+        "Int8Conv2d: quantization scratch size mismatch");
 
   // Dynamic symmetric activation quantization (padding quantizes to 0).
   const float in_scale = symmetric_scale(input.data());
-  std::vector<std::int8_t> q_input(input.data().size());
   for (std::size_t i = 0; i < q_input.size(); ++i) {
     q_input[i] = quantize_value(input.data()[i], in_scale);
   }
@@ -133,7 +201,6 @@ Tensor Int8Conv2d::forward(const Tensor& input) const {
         kx)];
   };
 
-  Tensor out(out_shape);
   const float dequant = weight_scale_ * in_scale;
   for (std::int64_t o = 0; o < out_shape.channels; ++o) {
     for (std::int64_t oy = 0; oy < out_shape.height; ++oy) {
@@ -155,7 +222,6 @@ Tensor Int8Conv2d::forward(const Tensor& input) const {
       }
     }
   }
-  return out;
 }
 
 LayerInfo Int8Conv2d::info(const FeatureShape& input_shape) const {
@@ -190,16 +256,42 @@ Int8Linear::Int8Linear(std::string name, std::int64_t in_features,
 }
 
 Tensor Int8Linear::forward(const Tensor& input) const {
+  std::vector<std::int8_t> q_input(input.data().size());
+  Tensor out(FeatureShape{out_features_, 1, 1});
+  forward_impl(input, out, q_input);
+  return out;
+}
+
+void Int8Linear::forward_into(ConstTensorView input, TensorView output,
+                              Workspace& workspace) const {
+  Arena& arena = workspace.arena();
+  const std::size_t mark = arena.mark();
+  forward_impl(input, output,
+               arena.allocate_span<std::int8_t>(input.size()));
+  arena.rewind(mark);
+}
+
+FeatureShape Int8Linear::output_shape(const FeatureShape& input_shape) const {
+  check(input_shape.channels == in_features_ && input_shape.height == 1 &&
+            input_shape.width == 1,
+        "Int8Linear expects a Cx1x1 input");
+  return {out_features_, 1, 1};
+}
+
+void Int8Linear::forward_impl(ConstTensorView input, TensorView out,
+                              std::span<std::int8_t> q_input) const {
   const FeatureShape in_shape = input.shape();
   check(in_shape.channels == in_features_ && in_shape.height == 1 &&
             in_shape.width == 1,
         "Int8Linear expects a Cx1x1 input");
+  check(out.shape() == FeatureShape{out_features_, 1, 1},
+        "Int8Linear: output view shape mismatch");
+  check(q_input.size() == input.data().size(),
+        "Int8Linear: quantization scratch size mismatch");
   const float in_scale = symmetric_scale(input.data());
-  std::vector<std::int8_t> q_input(input.data().size());
   for (std::size_t i = 0; i < q_input.size(); ++i) {
     q_input[i] = quantize_value(input.data()[i], in_scale);
   }
-  Tensor out(FeatureShape{out_features_, 1, 1});
   const float dequant = weight_scale_ * in_scale;
   for (std::int64_t o = 0; o < out_features_; ++o) {
     std::int64_t acc = 0;
@@ -212,7 +304,6 @@ Tensor Int8Linear::forward(const Tensor& input) const {
     out.at(o, 0, 0) = static_cast<float>(acc) * dequant +
                       bias_[static_cast<std::size_t>(o)];
   }
-  return out;
 }
 
 LayerInfo Int8Linear::info(const FeatureShape& input_shape) const {
@@ -253,6 +344,28 @@ Tensor BatchNorm::forward(const Tensor& input) const {
     }
   }
   return out;
+}
+
+void BatchNorm::forward_into(ConstTensorView input, TensorView output,
+                             Workspace& workspace) const {
+  (void)workspace;
+  const FeatureShape& s = input.shape();
+  check(s.channels == static_cast<std::int64_t>(scale_.size()),
+        "BatchNorm: channel mismatch");
+  check(output.shape() == s, "BatchNorm::forward_into: shape mismatch");
+  const float* in = input.data().data();
+  float* out = output.data().data();
+  const std::int64_t plane = s.height * s.width;
+  // Same per-element expression as forward() (v * scale + bias, one
+  // channel at a time), so results are bit-identical; element order
+  // makes exact aliasing (in == out) safe.
+  for (std::int64_t c = 0; c < s.channels; ++c) {
+    const float scale = scale_[static_cast<std::size_t>(c)];
+    const float bias = bias_[static_cast<std::size_t>(c)];
+    const float* ip = in + c * plane;
+    float* op = out + c * plane;
+    for (std::int64_t i = 0; i < plane; ++i) op[i] = ip[i] * scale + bias;
+  }
 }
 
 LayerInfo BatchNorm::info(const FeatureShape& input_shape) const {
@@ -296,6 +409,30 @@ Tensor RPReLU::forward(const Tensor& input) const {
   return out;
 }
 
+void RPReLU::forward_into(ConstTensorView input, TensorView output,
+                          Workspace& workspace) const {
+  (void)workspace;
+  const FeatureShape& s = input.shape();
+  check(s.channels == static_cast<std::int64_t>(slope_.size()),
+        "RPReLU: channel mismatch");
+  check(output.shape() == s, "RPReLU::forward_into: shape mismatch");
+  const float* in = input.data().data();
+  float* out = output.data().data();
+  const std::int64_t plane = s.height * s.width;
+  for (std::int64_t c = 0; c < s.channels; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    const float shift_in = shift_in_[ci];
+    const float slope = slope_[ci];
+    const float shift_out = shift_out_[ci];
+    const float* ip = in + c * plane;
+    float* op = out + c * plane;
+    for (std::int64_t i = 0; i < plane; ++i) {
+      const float v = ip[i] - shift_in;
+      op[i] = (v > 0.0f ? v : slope * v) + shift_out;
+    }
+  }
+}
+
 LayerInfo RPReLU::info(const FeatureShape& input_shape) const {
   return {.name = name_,
           .op_class = OpClass::kOther,
@@ -325,6 +462,35 @@ Tensor AvgPool2x2::forward(const Tensor& input) const {
   return out;
 }
 
+void AvgPool2x2::forward_into(ConstTensorView input, TensorView output,
+                              Workspace& workspace) const {
+  (void)workspace;
+  const FeatureShape& s = input.shape();
+  check(s.height % 2 == 0 && s.width % 2 == 0,
+        "AvgPool2x2 expects even spatial dims");
+  check(output.shape() ==
+            FeatureShape{s.channels, s.height / 2, s.width / 2},
+        "AvgPool2x2::forward_into: shape mismatch");
+  const float* in = input.data().data();
+  float* out = output.data().data();
+  const std::int64_t oh = s.height / 2;
+  const std::int64_t ow = s.width / 2;
+  for (std::int64_t c = 0; c < s.channels; ++c) {
+    const float* plane = in + c * s.height * s.width;
+    float* oplane = out + c * oh * ow;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      const float* row0 = plane + 2 * y * s.width;
+      const float* row1 = row0 + s.width;
+      for (std::int64_t x = 0; x < ow; ++x) {
+        // Same summation order as forward(): (r0c0 + r0c1) + r1c0 +
+        // r1c1, so the float result is bit-identical.
+        oplane[y * ow + x] = 0.25f * (row0[2 * x] + row0[2 * x + 1] +
+                                      row1[2 * x] + row1[2 * x + 1]);
+      }
+    }
+  }
+}
+
 LayerInfo AvgPool2x2::info(const FeatureShape& input_shape) const {
   return {.name = name(),
           .op_class = OpClass::kOther,
@@ -349,6 +515,24 @@ Tensor GlobalAvgPool::forward(const Tensor& input) const {
   return out;
 }
 
+void GlobalAvgPool::forward_into(ConstTensorView input, TensorView output,
+                                 Workspace& workspace) const {
+  (void)workspace;
+  const FeatureShape& s = input.shape();
+  check(output.shape() == FeatureShape{s.channels, 1, 1},
+        "GlobalAvgPool::forward_into: shape mismatch");
+  const float* in = input.data().data();
+  float* out = output.data().data();
+  const std::int64_t plane = s.height * s.width;
+  const auto area = static_cast<float>(plane);
+  for (std::int64_t c = 0; c < s.channels; ++c) {
+    const float* ip = in + c * plane;
+    float sum = 0.0f;
+    for (std::int64_t i = 0; i < plane; ++i) sum += ip[i];
+    out[c] = sum / area;
+  }
+}
+
 LayerInfo GlobalAvgPool::info(const FeatureShape& input_shape) const {
   return {.name = name(),
           .op_class = OpClass::kOther,
@@ -369,6 +553,18 @@ Tensor residual_add(const Tensor& a, const Tensor& b) {
   auto od = out.data();
   for (std::size_t i = 0; i < od.size(); ++i) od[i] += bd[i];
   return out;
+}
+
+void residual_add_into(ConstTensorView a, ConstTensorView b, TensorView out) {
+  check(a.shape() == b.shape(), "residual_add_into: operand shape mismatch");
+  check(out.shape() == a.shape(), "residual_add_into: output shape mismatch");
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  float* od = out.data().data();
+  const std::int64_t n = out.size();
+  // a[i] + b[i] like residual_add (which copies a then += b); exact
+  // aliasing of out with a is safe (the in-place residual).
+  for (std::int64_t i = 0; i < n; ++i) od[i] = ad[i] + bd[i];
 }
 
 Tensor concat_channels(const Tensor& a, const Tensor& b) {
@@ -393,6 +589,19 @@ Tensor concat_channels(const Tensor& a, const Tensor& b) {
     }
   }
   return out;
+}
+
+void concat_channels_into(ConstTensorView a, ConstTensorView b,
+                          TensorView out) {
+  check(a.shape().height == b.shape().height &&
+            a.shape().width == b.shape().width,
+        "concat_channels_into: spatial mismatch");
+  check(out.shape() ==
+            FeatureShape{a.shape().channels + b.shape().channels,
+                         a.shape().height, a.shape().width},
+        "concat_channels_into: output shape mismatch");
+  copy_into(a, out.channels(0, a.shape().channels));
+  copy_into(b, out.channels(a.shape().channels, b.shape().channels));
 }
 
 }  // namespace bkc::bnn

@@ -18,6 +18,8 @@
 
 namespace bkc::bnn {
 
+class Workspace;  // bnn/memory_plan.h
+
 /// Operation classes used for the Table I storage / execution-time
 /// breakdown.
 enum class OpClass {
@@ -56,6 +58,26 @@ class Layer {
   Layer& operator=(Layer&&) = default;
 
   virtual Tensor forward(const Tensor& input) const = 0;
+
+  /// Write forward(input) into `output` (whose shape must match this
+  /// layer's output shape for input's shape), drawing any temporary
+  /// storage from `workspace` — the allocation-free counterpart of
+  /// forward(), bit-identical to it by contract. `output` must not
+  /// alias `input` unless a layer documents in-place support
+  /// (BatchNorm, RPReLU and SignActivation are alias-safe; the block
+  /// orchestration relies on that). The default implementation bridges
+  /// through forward() with a copy so layers outside this file keep
+  /// working unchanged (at legacy allocation cost).
+  virtual void forward_into(ConstTensorView input, TensorView output,
+                            Workspace& workspace) const;
+
+  /// This layer's output shape for an input of `input_shape`, without
+  /// materializing a LayerInfo (info() builds a name string, which the
+  /// zero-allocation orchestrators cannot afford per call). The default
+  /// falls back to info(); every layer in this file overrides it with
+  /// pure shape arithmetic.
+  virtual FeatureShape output_shape(const FeatureShape& input_shape) const;
+
   virtual LayerInfo info(const FeatureShape& input_shape) const = 0;
   virtual std::string name() const = 0;
 };
@@ -64,6 +86,11 @@ class Layer {
 class SignActivation final : public Layer {
  public:
   Tensor forward(const Tensor& input) const override;
+  void forward_into(ConstTensorView input, TensorView output,
+                    Workspace& workspace) const override;  // alias-safe
+  FeatureShape output_shape(const FeatureShape& input_shape) const override {
+    return input_shape;
+  }
   LayerInfo info(const FeatureShape& input_shape) const override;
   std::string name() const override { return "sign"; }
 };
@@ -76,6 +103,14 @@ class BinaryConv2d final : public Layer {
   BinaryConv2d(std::string name, PackedKernel kernel, ConvGeometry geometry);
 
   Tensor forward(const Tensor& input) const override;
+  /// Packs the input into the workspace's shared pack scratch (caller-
+  /// provided storage, no per-call pack allocation), then convolves
+  /// into `output`.
+  void forward_into(ConstTensorView input, TensorView output,
+                    Workspace& workspace) const override;
+  FeatureShape output_shape(const FeatureShape& input_shape) const override {
+    return geometry_.output_shape(input_shape, kernel_.shape());
+  }
   LayerInfo info(const FeatureShape& input_shape) const override;
   std::string name() const override { return name_; }
 
@@ -102,10 +137,22 @@ class Int8Conv2d final : public Layer {
              OpClass op_class = OpClass::kInputLayer);
 
   Tensor forward(const Tensor& input) const override;
+  void forward_into(ConstTensorView input, TensorView output,
+                    Workspace& workspace) const override;
+  FeatureShape output_shape(const FeatureShape& input_shape) const override {
+    return geometry_.output_shape(input_shape, shape_);
+  }
   LayerInfo info(const FeatureShape& input_shape) const override;
   std::string name() const override { return name_; }
 
  private:
+  /// Shared body of both entry points: quantize into `q_input`
+  /// (caller-provided — a heap vector on the legacy path, arena
+  /// scratch on the planned path) and convolve into `output`. One
+  /// implementation keeps the two paths bit-identical by construction.
+  void forward_impl(ConstTensorView input, TensorView output,
+                    std::span<std::int8_t> q_input) const;
+
   std::string name_;
   KernelShape shape_;
   std::vector<std::int8_t> weights_;
@@ -125,6 +172,9 @@ class Int8Linear final : public Layer {
              std::vector<float> bias);
 
   Tensor forward(const Tensor& input) const override;
+  void forward_into(ConstTensorView input, TensorView output,
+                    Workspace& workspace) const override;
+  FeatureShape output_shape(const FeatureShape& input_shape) const override;
   LayerInfo info(const FeatureShape& input_shape) const override;
   std::string name() const override { return name_; }
 
@@ -132,6 +182,9 @@ class Int8Linear final : public Layer {
   std::int64_t out_features() const { return out_features_; }
 
  private:
+  void forward_impl(ConstTensorView input, TensorView output,
+                    std::span<std::int8_t> q_input) const;
+
   std::string name_;
   std::int64_t in_features_;
   std::int64_t out_features_;
@@ -147,6 +200,11 @@ class BatchNorm final : public Layer {
             std::vector<float> bias);
 
   Tensor forward(const Tensor& input) const override;
+  void forward_into(ConstTensorView input, TensorView output,
+                    Workspace& workspace) const override;  // alias-safe
+  FeatureShape output_shape(const FeatureShape& input_shape) const override {
+    return input_shape;
+  }
   LayerInfo info(const FeatureShape& input_shape) const override;
   std::string name() const override { return name_; }
 
@@ -167,6 +225,11 @@ class RPReLU final : public Layer {
          std::vector<float> slope, std::vector<float> shift_out);
 
   Tensor forward(const Tensor& input) const override;
+  void forward_into(ConstTensorView input, TensorView output,
+                    Workspace& workspace) const override;  // alias-safe
+  FeatureShape output_shape(const FeatureShape& input_shape) const override {
+    return input_shape;
+  }
   LayerInfo info(const FeatureShape& input_shape) const override;
   std::string name() const override { return name_; }
 
@@ -181,6 +244,12 @@ class RPReLU final : public Layer {
 class AvgPool2x2 final : public Layer {
  public:
   Tensor forward(const Tensor& input) const override;
+  void forward_into(ConstTensorView input, TensorView output,
+                    Workspace& workspace) const override;
+  FeatureShape output_shape(const FeatureShape& input_shape) const override {
+    return {input_shape.channels, input_shape.height / 2,
+            input_shape.width / 2};
+  }
   LayerInfo info(const FeatureShape& input_shape) const override;
   std::string name() const override { return "avgpool2x2"; }
 };
@@ -189,6 +258,11 @@ class AvgPool2x2 final : public Layer {
 class GlobalAvgPool final : public Layer {
  public:
   Tensor forward(const Tensor& input) const override;
+  void forward_into(ConstTensorView input, TensorView output,
+                    Workspace& workspace) const override;
+  FeatureShape output_shape(const FeatureShape& input_shape) const override {
+    return {input_shape.channels, 1, 1};
+  }
   LayerInfo info(const FeatureShape& input_shape) const override;
   std::string name() const override { return "global_avgpool"; }
 };
@@ -196,7 +270,18 @@ class GlobalAvgPool final : public Layer {
 /// Element-wise sum of two equally-shaped tensors (residual connection).
 Tensor residual_add(const Tensor& a, const Tensor& b);
 
+/// residual_add writing into caller-provided storage; `out` may alias
+/// `a` (the in-place residual the block orchestration uses).
+void residual_add_into(ConstTensorView a, ConstTensorView b, TensorView out);
+
 /// Channel-wise concatenation of two tensors with equal spatial dims.
 Tensor concat_channels(const Tensor& a, const Tensor& b);
+
+/// concat_channels writing into caller-provided storage (no aliasing).
+/// The planned ReActNet path avoids even this copy by pointing the two
+/// 1x1 convs straight at out.channels(...) halves; this exists for
+/// orchestrations that already hold `a` and `b` elsewhere.
+void concat_channels_into(ConstTensorView a, ConstTensorView b,
+                          TensorView out);
 
 }  // namespace bkc::bnn

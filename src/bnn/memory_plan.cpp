@@ -1,0 +1,121 @@
+#include "bnn/memory_plan.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bkc::bnn {
+
+namespace {
+
+std::int64_t aligned(std::int64_t bytes) {
+  return static_cast<std::int64_t>(
+      Arena::aligned_size(static_cast<std::size_t>(bytes)));
+}
+
+std::int64_t float_bytes(std::int64_t count) {
+  return aligned(count * static_cast<std::int64_t>(sizeof(float)));
+}
+
+/// activation_floats and pack_words are common to every planner: the
+/// former is the largest activation any op reads or writes, the latter
+/// the largest packed input of any 1-bit conv.
+MemoryPlan common_plan(const std::vector<OpRecord>& records) {
+  MemoryPlan plan;
+  for (const OpRecord& op : records) {
+    plan.activation_floats =
+        std::max({plan.activation_floats, op.input_shape.size(),
+                  op.output_shape.size()});
+    if (op.precision_bits == 1) {
+      const FeatureShape& in = op.input_shape;
+      plan.pack_words =
+          std::max(plan.pack_words,
+                   words_per_group(in.channels) * in.height * in.width);
+    }
+  }
+  return plan;
+}
+
+/// int8 layers (stem conv, classifier) quantize their whole input into
+/// arena scratch.
+std::int64_t int8_scratch(const OpRecord& op) {
+  return aligned(op.input_shape.size() *
+                 static_cast<std::int64_t>(sizeof(std::int8_t)));
+}
+
+}  // namespace
+
+std::size_t MemoryPlan::arena_bytes() const {
+  return 2 * static_cast<std::size_t>(float_bytes(activation_floats)) +
+         static_cast<std::size_t>(scratch_bytes);
+}
+
+bool MemoryPlan::covers(const MemoryPlan& other) const {
+  return activation_floats >= other.activation_floats &&
+         scratch_bytes >= other.scratch_bytes &&
+         pack_words >= other.pack_words;
+}
+
+MemoryPlan plan_reactnet_forward(const std::vector<OpRecord>& records) {
+  MemoryPlan plan = common_plan(records);
+  for (const OpRecord& op : records) {
+    std::int64_t scratch = 0;
+    if (op.precision_bits == 8) {
+      scratch = int8_scratch(op);
+    } else if (op.op_class == OpClass::kConv3x3 && op.precision_bits == 1) {
+      // A basic block holds its 3x3 conv output (the mid tensor `y`)
+      // in scratch; a stride-2 block additionally holds the pooled
+      // shortcut while forming the residual. This mirrors
+      // BasicBlock::forward_into's allocation order exactly — the
+      // high-water equality check depends on it.
+      scratch = float_bytes(op.output_shape.size());
+      if (op.geometry.stride == 2) {
+        const FeatureShape& in = op.input_shape;
+        scratch += float_bytes(in.channels * (in.height / 2) * (in.width / 2));
+      }
+    }
+    plan.scratch_bytes = std::max(plan.scratch_bytes, scratch);
+  }
+  return plan;
+}
+
+MemoryPlan plan_sequential_forward(const std::vector<OpRecord>& records) {
+  MemoryPlan plan = common_plan(records);
+  for (const OpRecord& op : records) {
+    if (op.precision_bits == 8) {
+      plan.scratch_bytes = std::max(plan.scratch_bytes, int8_scratch(op));
+    }
+  }
+  return plan;
+}
+
+Workspace::Workspace(const MemoryPlan& plan)
+    : plan_(plan), arena_(plan.arena_bytes()) {
+  packed_.reserve_words(plan.pack_words);
+}
+
+WorkspacePool::Lease WorkspacePool::acquire() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!idle_.empty()) {
+      std::unique_ptr<Workspace> workspace = std::move(idle_.back());
+      idle_.pop_back();
+      return {this, std::move(workspace)};
+    }
+  }
+  // First acquisition on a fresh concurrency level: the one warm-up
+  // allocation this worker will ever cause.
+  return {this, std::make_unique<Workspace>(plan_)};
+}
+
+std::size_t WorkspacePool::idle_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return idle_.size();
+}
+
+void WorkspacePool::release(std::unique_ptr<Workspace> workspace) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  idle_.push_back(std::move(workspace));
+}
+
+}  // namespace bkc::bnn

@@ -61,6 +61,18 @@ class Sequential {
 
   Tensor forward(const Tensor& input) const;
 
+  /// Zero-allocation counterpart of forward(): runs every layer
+  /// through forward_into over ping-pong buffers carved from the
+  /// workspace arena (sized by ws.plan().activation_floats — build the
+  /// workspace from plan_sequential_forward over this model's
+  /// op_records). Resets the arena on entry. Bit-identical to
+  /// forward(), including the one structural difference: a
+  /// SignActivation directly feeding a BinaryConv2d is skipped, since
+  /// packing binarizes with the same bit = v >= 0 rule — the
+  /// redundant sign tensor is never materialized.
+  void forward_into(ConstTensorView input, TensorView output,
+                    Workspace& workspace) const;
+
   std::size_t size() const { return layers_.size(); }
   const Layer& layer(std::size_t i) const;
 

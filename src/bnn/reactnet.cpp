@@ -130,6 +130,54 @@ Tensor BasicBlock::forward(const Tensor& input) const {
   return act2_->forward(za);
 }
 
+void BasicBlock::forward_into(ConstTensorView input, TensorView output,
+                              Workspace& workspace) const {
+  check(input.shape().channels == config_.in_channels,
+        "BasicBlock::forward_into: input channel mismatch");
+  check(output.shape() == output_shape(input.shape()),
+        "BasicBlock::forward_into: output shape mismatch");
+  Arena& arena = workspace.arena();
+  const std::size_t block_mark = arena.mark();
+
+  // First half: 3x3 binary conv with residual shortcut, in arena
+  // scratch. The stride-2 pooled shortcut is released (LIFO) as soon
+  // as the residual consumes it.
+  const FeatureShape mid_shape = conv3_->output_shape(input.shape());
+  TensorView y(mid_shape, arena.allocate_span<float>(mid_shape.size()));
+  conv3_->forward_into(input, y, workspace);
+  bn1_->forward_into(y, y, workspace);
+  if (config_.stride == 2) {
+    const std::size_t pool_mark = arena.mark();
+    const FeatureShape pooled_shape = pool_.output_shape(input.shape());
+    TensorView shortcut(pooled_shape,
+                        arena.allocate_span<float>(pooled_shape.size()));
+    pool_.forward_into(input, shortcut, workspace);
+    residual_add_into(y, shortcut, y);
+    arena.rewind(pool_mark);
+  } else {
+    residual_add_into(y, input, y);
+  }
+  act1_->forward_into(y, y, workspace);
+
+  // Second half: the 1x1 conv(s) write straight into the channel
+  // halves of the concat destination (CHW makes channel subranges
+  // contiguous), so the legacy path's za/zb temporaries and the
+  // concat copy never exist here.
+  const std::int64_t in = config_.in_channels;
+  TensorView za = output.channels(0, in);
+  conv1a_->forward_into(y, za, workspace);
+  bn2a_->forward_into(za, za, workspace);
+  residual_add_into(za, y, za);
+  if (conv1b_) {
+    TensorView zb = output.channels(in, in);
+    conv1b_->forward_into(y, zb, workspace);
+    bn2b_->forward_into(zb, zb, workspace);
+    residual_add_into(zb, y, zb);
+  }
+  act2_->forward_into(output, output, workspace);
+  arena.rewind(block_mark);
+}
+
 std::vector<BinaryConv2d*> BasicBlock::conv1x1s() {
   std::vector<BinaryConv2d*> convs{conv1a_.get()};
   if (conv1b_) convs.push_back(conv1b_.get());
@@ -208,6 +256,8 @@ ReActNet::ReActNet(const ReActNetConfig& config, WeightGenerator generator)
           static_cast<std::size_t>(features * config.num_classes), 0.05f),
       generator.sample_floats(static_cast<std::size_t>(config.num_classes),
                               0.01f));
+
+  plan_ = plan_reactnet_forward(op_records());
 }
 
 Tensor ReActNet::forward(const Tensor& image) const {
@@ -218,6 +268,48 @@ Tensor ReActNet::forward(const Tensor& image) const {
   for (const auto& block : blocks_) x = block.forward(x);
   x = pool_.forward(x);
   return classifier_->forward(x);
+}
+
+void ReActNet::forward_into(ConstTensorView image, TensorView scores,
+                            Workspace& workspace) const {
+  check(image.shape() == input_shape(),
+        "ReActNet::forward_into: input shape mismatch");
+  check(scores.shape() == FeatureShape{config_.num_classes, 1, 1},
+        "ReActNet::forward_into: scores must be num_classes x 1 x 1");
+  check(workspace.covers(plan_),
+        "ReActNet::forward_into: workspace does not cover this model's "
+        "memory plan");
+  Arena& arena = workspace.arena();
+  arena.reset();
+  const std::int64_t buffer_floats = plan_.activation_floats;
+  const std::span<float> buffers[2] = {
+      arena.allocate_span<float>(buffer_floats),
+      arena.allocate_span<float>(buffer_floats)};
+
+  FeatureShape shape = stem_->output_shape(image.shape());
+  check(shape.size() <= buffer_floats,
+        "ReActNet::forward_into: plan does not cover the stem output");
+  TensorView current(shape,
+                     buffers[0].first(static_cast<std::size_t>(shape.size())));
+  stem_->forward_into(image, current, workspace);
+
+  int next = 1;
+  for (const auto& block : blocks_) {
+    shape = block.output_shape(current.shape());
+    check(shape.size() <= buffer_floats,
+          "ReActNet::forward_into: plan does not cover a block output");
+    TensorView destination(
+        shape, buffers[next].first(static_cast<std::size_t>(shape.size())));
+    block.forward_into(current, destination, workspace);
+    current = destination;
+    next = 1 - next;
+  }
+
+  shape = pool_.output_shape(current.shape());
+  TensorView pooled(shape,
+                    buffers[next].first(static_cast<std::size_t>(shape.size())));
+  pool_.forward_into(current, pooled, workspace);
+  classifier_->forward_into(pooled, scores, workspace);
 }
 
 FeatureShape ReActNet::input_shape() const {

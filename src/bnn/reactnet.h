@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bnn/layers.h"
+#include "bnn/memory_plan.h"
 #include "bnn/model.h"
 #include "bnn/weights.h"
 #include "tensor/tensor.h"
@@ -73,6 +74,16 @@ class BasicBlock {
 
   Tensor forward(const Tensor& input) const;
 
+  /// Zero-allocation counterpart of forward(): block scratch (the 3x3
+  /// conv output, the stride-2 pooled shortcut) comes from the
+  /// workspace arena and is released LIFO before returning; the 1x1
+  /// convs write straight into the channel halves of `output` (the
+  /// concat destination), so no intermediate za/zb tensors exist.
+  /// `output` must have output_shape(input.shape()) and must not alias
+  /// `input`. Bit-identical to forward().
+  void forward_into(ConstTensorView input, TensorView output,
+                    Workspace& workspace) const;
+
   const BlockConfig& config() const { return config_; }
   const std::string& name() const { return name_; }
 
@@ -111,6 +122,22 @@ class ReActNet {
   /// the network; returns class scores (num_classes x 1 x 1).
   Tensor forward(const Tensor& image) const;
 
+  /// Zero-allocation counterpart of forward(): activations ping-pong
+  /// between two arena buffers of memory_plan().activation_floats
+  /// each, blocks draw their scratch LIFO on top, and the int8
+  /// stem/classifier quantize into arena scratch. Resets the
+  /// workspace arena on entry; `workspace` must cover memory_plan()
+  /// (any workspace built from this model's plan, or a larger one,
+  /// qualifies). `scores` must be num_classes x 1 x 1. Bit-identical
+  /// to forward().
+  void forward_into(ConstTensorView image, TensorView scores,
+                    Workspace& workspace) const;
+
+  /// The memory plan computed once at construction from op_records():
+  /// build Workspaces (or a WorkspacePool) from this to run
+  /// forward_into.
+  const MemoryPlan& memory_plan() const { return plan_; }
+
   const ReActNetConfig& config() const { return config_; }
   FeatureShape input_shape() const;
 
@@ -138,6 +165,7 @@ class ReActNet {
   std::vector<BasicBlock> blocks_;
   GlobalAvgPool pool_;
   std::unique_ptr<Int8Linear> classifier_;
+  MemoryPlan plan_;
 };
 
 /// The op-record layout of a ReActNet with this configuration, without

@@ -14,7 +14,9 @@ Engine::Engine(const bnn::ReActNetConfig& model_config,
     : options_(options),
       model_(model_config),
       compressor_(options.tree, options.clustering_config,
-                  options.codec_id) {}
+                  options.codec_id),
+      workspaces_(
+          std::make_unique<bnn::WorkspacePool>(model_.memory_plan())) {}
 
 const compress::ModelReport& Engine::compress(int num_threads) {
   if (compressed_) return report_;
@@ -42,21 +44,38 @@ const compress::ModelReport& Engine::compress(int num_threads) {
 }
 
 Tensor Engine::classify(const Tensor& image, int num_threads) const {
+  Tensor scores(FeatureShape{model_.config().num_classes, 1, 1});
+  bnn::WorkspacePool::Lease lease = workspaces_->acquire();
+  classify_into(image, scores, lease.workspace(), num_threads);
+  return scores;
+}
+
+void Engine::classify_into(const Tensor& image, Tensor& scores,
+                           bnn::Workspace& workspace, int num_threads) const {
+  const FeatureShape out_shape{model_.config().num_classes, 1, 1};
+  if (scores.shape() != out_shape) scores = Tensor(out_shape);
   // The binary convolutions pick the count up via current_num_threads();
   // the scoped override keeps the setting local to this call (and to
   // this thread).
   ScopedNumThreads threads(num_threads);
-  return model_.forward(image);
+  model_.forward_into(image, scores, workspace);
 }
 
 std::vector<Tensor> Engine::classify_batch(const std::vector<Tensor>& images,
                                            int num_threads) const {
   std::vector<Tensor> scores(images.size());
+  const FeatureShape out_shape{model_.config().num_classes, 1, 1};
   parallel_for(static_cast<std::int64_t>(images.size()), num_threads,
                [&](std::int64_t begin, std::int64_t end) {
+                 // One workspace per worker, reused across the whole
+                 // chunk — the pool grows to the peak worker count on
+                 // the first batch and stops allocating from then on.
+                 bnn::WorkspacePool::Lease lease = workspaces_->acquire();
+                 bnn::Workspace& workspace = lease.workspace();
                  for (std::int64_t i = begin; i < end; ++i) {
                    const auto idx = static_cast<std::size_t>(i);
-                   scores[idx] = model_.forward(images[idx]);
+                   scores[idx] = Tensor(out_shape);
+                   model_.forward_into(images[idx], scores[idx], workspace);
                  }
                });
   return scores;

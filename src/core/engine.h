@@ -70,15 +70,44 @@ class Engine {
   /// returns class scores. Uses the installed kernels. `num_threads`
   /// parallelizes the per-output-channel loop inside each binary
   /// convolution (bnn/bconv.h), cutting single-image latency.
+  ///
+  /// Runs the arena-backed forward path: a Workspace is leased from the
+  /// engine's pool (allocated on first use, reused ever after), so
+  /// steady-state calls perform no heap allocation beyond the returned
+  /// score tensor. Bit-identical to model().forward(image).
   Tensor classify(const Tensor& image, int num_threads = 1) const;
+
+  /// classify() into caller-provided storage: with a warm `workspace`
+  /// (one prior call) and a correctly-shaped `scores`
+  /// (num_classes x 1 x 1; reallocated if not), the call performs ZERO
+  /// heap allocations — the property tests/test_zero_alloc.cpp pins
+  /// with a global operator-new counter. The workspace must cover
+  /// memory_plan() (anything from make_workspace() qualifies).
+  void classify_into(const Tensor& image, Tensor& scores,
+                     bnn::Workspace& workspace, int num_threads = 1) const;
 
   /// Classify a batch of independent images, fanned out across
   /// `num_threads` workers (one chunk of images per worker; within a
-  /// worker each image runs serially). Returns one score tensor per
-  /// image, in input order, bit-identical to calling classify() on each
-  /// image serially.
+  /// worker each image runs serially). Each worker leases one Workspace
+  /// from the engine's pool and reuses it for its whole chunk, so the
+  /// pool grows to the peak worker count and then stops allocating.
+  /// Returns one score tensor per image, in input order, bit-identical
+  /// to calling classify() on each image serially. The serve-side
+  /// BatchScheduler (serve/scheduler.h) dispatches through this entry
+  /// point and therefore rides the same workspace pool.
   std::vector<Tensor> classify_batch(const std::vector<Tensor>& images,
                                      int num_threads = 1) const;
+
+  /// The model's memory plan (computed once at construction from its
+  /// op records); sizes every workspace the engine leases.
+  const bnn::MemoryPlan& memory_plan() const { return model_.memory_plan(); }
+
+  /// A fresh workspace covering memory_plan(), for callers that manage
+  /// their own reuse (benchmarks, tests) instead of going through the
+  /// engine's internal pool.
+  bnn::Workspace make_workspace() const {
+    return bnn::Workspace(memory_plan());
+  }
 
   /// Decode every compressed stream and check it reproduces the
   /// installed kernels bit-exactly, one stream per work unit across
@@ -172,6 +201,10 @@ class Engine {
   bool compressed_ = false;
   compress::ModelReport report_;
   std::vector<compress::KernelCompression> streams_;
+  /// Lazy pool of per-thread inference workspaces (bnn/memory_plan.h).
+  /// Held by pointer: the pool's mutex makes it immovable, while Engine
+  /// itself is moved (load_compressed returns by value).
+  std::unique_ptr<bnn::WorkspacePool> workspaces_;
 };
 
 }  // namespace bkc

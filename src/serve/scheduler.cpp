@@ -165,7 +165,10 @@ void BatchScheduler::run_batch(std::vector<Request> batch,
     // caller batching by hand would run, so per-image results are
     // bit-identical to the direct path (classify_batch's own
     // serial-equivalence guarantee makes them independent of how
-    // requests happened to coalesce).
+    // requests happened to coalesce). classify_batch leases one
+    // Workspace per worker from the engine's pool (bnn/memory_plan.h),
+    // so steady-state serving performs no per-image heap allocation
+    // beyond the score tensors themselves.
     std::vector<Tensor> scores =
         model->engine().classify_batch(images, options_.num_threads);
     for (std::size_t i = 0; i < batch.size(); ++i) {

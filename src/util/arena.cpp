@@ -1,0 +1,50 @@
+#include "util/arena.h"
+
+#include <string>
+
+namespace bkc {
+namespace {
+
+// operator new[] only guarantees alignof(std::max_align_t); the arena
+// over-allocates by one granule and aligns its base pointer up so every
+// bump result is genuinely kAlignment-aligned.
+std::size_t align_up(std::uintptr_t value, std::size_t alignment) {
+  return (value + alignment - 1) / alignment * alignment - value;
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t capacity_bytes)
+    : capacity_(aligned_size(capacity_bytes)) {
+  storage_ = std::make_unique<std::byte[]>(capacity_ + kAlignment);
+  base_offset_ = align_up(reinterpret_cast<std::uintptr_t>(storage_.get()),
+                          kAlignment);
+}
+
+void* Arena::allocate(std::size_t bytes) {
+  const std::size_t size = aligned_size(bytes);
+  if (size > capacity_ - used_) {
+    throw CheckError("Arena::allocate: request of " + std::to_string(bytes) +
+                     " bytes (rounded to " + std::to_string(size) +
+                     ") exceeds remaining capacity (" + std::to_string(used_) +
+                     " of " + std::to_string(capacity_) +
+                     " bytes in use); the MemoryPlan under-sized this arena");
+  }
+  std::byte* p = storage_.get() + base_offset_ + used_;
+  used_ += size;
+  if (used_ > high_water_) high_water_ = used_;
+  ++allocation_count_;
+  return p;
+}
+
+void Arena::rewind(std::size_t mark) {
+  check(mark <= used_, "Arena::rewind: mark is ahead of the current offset");
+  used_ = mark;
+}
+
+void Arena::reset() {
+  used_ = 0;
+  ++reset_count_;
+}
+
+}  // namespace bkc

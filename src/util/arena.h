@@ -1,0 +1,106 @@
+#pragma once
+// Bump allocator backing the zero-allocation inference path.
+//
+// An Arena owns one fixed block of memory sized up front from a
+// MemoryPlan (bnn/memory_plan.h) and hands out aligned sub-spans by
+// bumping an offset. There is no per-buffer free: callers either
+// `reset()` between images (the ping-pong activation buffers) or use
+// the LIFO `mark()`/`rewind()` pair for block-local scratch. Because
+// capacity never changes after construction, a forward pass that fits
+// the plan performs no heap allocation at all — and one that does not
+// fit fails loudly with CheckError instead of silently growing.
+//
+// In the style of compress/instrumentation.h, the arena keeps counters
+// (`high_water()`, `allocation_count()`, `reset_count()`) so tests and
+// the throughput bench can pin the contract exactly: the high-water
+// mark of a planned forward pass must equal the plan's computed size,
+// byte for byte. The counters are plain integers, not atomics — an
+// Arena belongs to exactly one Workspace and is never shared between
+// threads (workers lease whole workspaces from the pool instead).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "util/check.h"
+
+namespace bkc {
+
+/// Fixed-capacity bump allocator. Move-only; not thread-safe by design
+/// (see file comment).
+class Arena {
+ public:
+  /// Every allocation is aligned to (and its size rounded up to) this
+  /// many bytes, so plan arithmetic can predict offsets exactly.
+  static constexpr std::size_t kAlignment = 64;
+
+  Arena() = default;
+
+  /// Arena over a freshly allocated block of `capacity_bytes` (rounded
+  /// up to kAlignment). The one and only heap allocation the arena
+  /// ever performs happens here.
+  explicit Arena(std::size_t capacity_bytes);
+
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `bytes` rounded up to the allocation granularity — the size a
+  /// subsequent allocate(bytes) will actually consume.
+  static constexpr std::size_t aligned_size(std::size_t bytes) {
+    return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  }
+
+  /// Pointer to `bytes` of kAlignment-aligned storage. CheckError when
+  /// the request does not fit in the remaining capacity.
+  void* allocate(std::size_t bytes);
+
+  /// allocate() typed as `count` elements of T. T must be trivially
+  /// destructible (the arena never runs destructors); the returned
+  /// elements are uninitialised.
+  template <typename T>
+  std::span<T> allocate_span(std::int64_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage is released without running destructors");
+    check(count >= 0, "Arena::allocate_span: negative count");
+    void* p = allocate(static_cast<std::size_t>(count) * sizeof(T));
+    return {static_cast<T*>(p), static_cast<std::size_t>(count)};
+  }
+
+  /// Current offset, for LIFO scratch release via rewind().
+  std::size_t mark() const { return used_; }
+
+  /// Roll the offset back to an earlier mark(). Only LIFO use is
+  /// valid; the high-water mark is unaffected.
+  void rewind(std::size_t mark);
+
+  /// Release everything (offset back to zero). Called once per image
+  /// by the forward path; counted so tests can see reuse happening.
+  void reset();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+
+  /// Largest `used()` ever observed, across resets. A planned forward
+  /// pass must drive this to exactly the plan's computed size.
+  std::size_t high_water() const { return high_water_; }
+
+  /// Total allocate() calls over the arena's lifetime.
+  std::uint64_t allocation_count() const { return allocation_count_; }
+
+  /// Total reset() calls over the arena's lifetime.
+  std::uint64_t reset_count() const { return reset_count_; }
+
+ private:
+  std::unique_ptr<std::byte[]> storage_;
+  std::size_t base_offset_ = 0;  ///< aligns storage_ up to kAlignment
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t allocation_count_ = 0;
+  std::uint64_t reset_count_ = 0;
+};
+
+}  // namespace bkc

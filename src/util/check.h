@@ -31,6 +31,20 @@ inline void check(bool condition, const std::string& message,
   }
 }
 
+/// Literal-message overload: the std::string overload materializes its
+/// message eagerly (a heap allocation per call even when the condition
+/// holds), which both costs time in per-element accessors and breaks the
+/// zero-allocation contract of the arena-backed inference path. Call
+/// sites passing a string literal bind here instead and allocate only on
+/// failure.
+inline void check(bool condition, const char* message,
+                  std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw CheckError(std::string(loc.file_name()) + ":" +
+                     std::to_string(loc.line()) + ": " + message);
+  }
+}
+
 /// Report an internal state that should be impossible. Used instead of
 /// assert(false) so the failure is diagnosable in release builds too.
 [[noreturn]] inline void unreachable(

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "bnn/kernel_sequences.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -126,6 +128,69 @@ TEST(KernelSequences, RejectsNon3x3) {
 TEST(KernelSequences, SizeMismatchThrows) {
   std::vector<SeqId> seqs(3);
   EXPECT_THROW(kernel_from_sequences(2, 2, seqs), CheckError);
+}
+
+TEST(PackFeatureInto, MatchesPackFeatureOnRandomShapes) {
+  // The fast channel-plane packer must agree word-for-word with the
+  // slow per-bit reference on every layout class: single word, exact
+  // word multiple, and tail-word channels.
+  Rng rng(17);
+  const FeatureShape shapes[] = {
+      {1, 3, 5}, {7, 4, 4}, {64, 2, 3}, {65, 2, 2}, {130, 3, 2}};
+  PackedFeature scratch;
+  for (const FeatureShape& shape : shapes) {
+    Tensor t(shape);
+    for (auto& v : t.data()) v = static_cast<float>(rng.uniform() - 0.5);
+    const PackedFeature expected = pack_feature(t);
+    pack_feature_into(t, scratch);
+    ASSERT_EQ(scratch.shape(), shape);
+    ASSERT_EQ(scratch.words().size(), expected.words().size());
+    EXPECT_EQ(std::memcmp(scratch.words().data(), expected.words().data(),
+                          expected.words().size_bytes()),
+              0);
+  }
+}
+
+TEST(PackFeatureInto, ReshapeReusesReservedCapacity) {
+  PackedFeature scratch;
+  scratch.reserve_words(words_per_group(130) * 3 * 2);
+  const std::uint64_t* storage = nullptr;
+  Rng rng(19);
+  for (const FeatureShape& shape :
+       {FeatureShape{130, 3, 2}, FeatureShape{7, 4, 4},
+        FeatureShape{64, 2, 3}}) {
+    Tensor t(shape);
+    for (auto& v : t.data()) v = rng.chance(0.5) ? 1.0f : -1.0f;
+    pack_feature_into(t, scratch);
+    if (storage == nullptr) storage = scratch.words().data();
+    // Smaller reshapes never reallocate: the word storage is stable.
+    EXPECT_EQ(scratch.words().data(), storage);
+    const PackedFeature expected = pack_feature(t);
+    EXPECT_EQ(std::memcmp(scratch.words().data(), expected.words().data(),
+                          expected.words().size_bytes()),
+              0);
+  }
+}
+
+TEST(PackFeatureInto, TailWordBitsStayZero) {
+  // The layout invariant the mask-free AVX2 interior relies on: bits
+  // above the channel count in the tail word are always zero, even
+  // when the scratch previously held a wider feature.
+  Rng rng(23);
+  PackedFeature scratch;
+  Tensor wide(FeatureShape{128, 2, 2});
+  for (auto& v : wide.data()) v = 1.0f;  // all bits set
+  pack_feature_into(wide, scratch);
+  Tensor narrow(FeatureShape{70, 2, 2});
+  for (auto& v : narrow.data()) v = rng.chance(0.5) ? 1.0f : -1.0f;
+  pack_feature_into(narrow, scratch);
+  for (std::int64_t y = 0; y < 2; ++y) {
+    for (std::int64_t x = 0; x < 2; ++x) {
+      const auto words = scratch.at(y, x);
+      ASSERT_EQ(words.size(), 2u);
+      EXPECT_EQ(words[1] & ~channel_tail_mask(70), 0u);
+    }
+  }
 }
 
 }  // namespace

@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bnn/memory_plan.h"
 #include "bnn/weights.h"
 #include "util/check.h"
 
@@ -162,6 +167,146 @@ TEST(OpClassNames, MatchTableI) {
   EXPECT_EQ(op_class_name(OpClass::kConv1x1), "Conv 1x1");
   EXPECT_EQ(op_class_name(OpClass::kConv3x3), "Conv 3x3");
   EXPECT_EQ(op_class_name(OpClass::kOther), "Others");
+}
+
+// ---- forward_into: the zero-allocation entry point of every layer ----
+
+/// Workspace big enough for any layer in these tests.
+Workspace test_workspace() {
+  return Workspace(MemoryPlan{.activation_floats = 4096,
+                              .scratch_bytes = 16384,
+                              .pack_words = 1024});
+}
+
+/// forward() and forward_into() must agree bit-for-bit.
+void expect_into_matches_forward(const Layer& layer, const Tensor& input) {
+  const Tensor expected = layer.forward(input);
+  Workspace workspace = test_workspace();
+  Tensor out(layer.output_shape(input.shape()));
+  layer.forward_into(input, out, workspace);
+  ASSERT_EQ(out.shape(), expected.shape());
+  EXPECT_EQ(std::memcmp(out.data().data(), expected.data().data(),
+                        expected.data().size_bytes()),
+            0);
+}
+
+Tensor random_activation(const FeatureShape& shape, std::uint64_t seed) {
+  WeightGenerator gen(seed);
+  return gen.sample_activation(shape);
+}
+
+TEST(ForwardInto, MatchesForwardForEveryLayerKind) {
+  WeightGenerator gen(31);
+  const Tensor input = random_activation({8, 6, 6}, 61);
+
+  expect_into_matches_forward(SignActivation(), input);
+  expect_into_matches_forward(
+      BinaryConv2d("c3", gen.sample_kernel({4, 8, 3, 3}), {1, 1}), input);
+  expect_into_matches_forward(
+      BinaryConv2d("c1", gen.sample_kernel({8, 8, 1, 1}), {1, 0}), input);
+  expect_into_matches_forward(
+      BinaryConv2d("c3s2", gen.sample_kernel({8, 8, 3, 3}), {2, 1}), input);
+  expect_into_matches_forward(
+      Int8Conv2d("stem", gen.sample_float_weights({4, 8, 3, 3}, 0.5f),
+                 gen.sample_floats(4, 0.05f), {1, 1}),
+      input);
+  expect_into_matches_forward(
+      BatchNorm("bn", gen.sample_floats(8, 0.1f, 1.0f),
+                gen.sample_floats(8, 0.05f)),
+      input);
+  expect_into_matches_forward(
+      RPReLU("act", gen.sample_floats(8, 0.1f),
+             gen.sample_floats(8, 0.05f, 0.25f), gen.sample_floats(8, 0.1f)),
+      input);
+  expect_into_matches_forward(AvgPool2x2(), input);
+  expect_into_matches_forward(GlobalAvgPool(), input);
+  expect_into_matches_forward(
+      Int8Linear("fc", 8, 5, gen.sample_floats(40, 0.05f),
+                 gen.sample_floats(5, 0.01f)),
+      random_activation({8, 1, 1}, 63));
+}
+
+TEST(ForwardInto, AliasSafeLayersRunInPlace) {
+  // BatchNorm, RPReLU and SignActivation document in-place support —
+  // the block orchestration overwrites its own buffers through them.
+  WeightGenerator gen(33);
+  const Tensor input = random_activation({4, 5, 5}, 67);
+  Workspace workspace = test_workspace();
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.push_back(std::make_unique<BatchNorm>(
+      "bn", gen.sample_floats(4, 0.1f, 1.0f), gen.sample_floats(4, 0.05f)));
+  layers.push_back(std::make_unique<RPReLU>(
+      "act", gen.sample_floats(4, 0.1f), gen.sample_floats(4, 0.05f, 0.25f),
+      gen.sample_floats(4, 0.1f)));
+  layers.push_back(std::make_unique<SignActivation>());
+  for (const auto& layer : layers) {
+    const Tensor expected = layer->forward(input);
+    Tensor in_place = input;
+    TensorView view(in_place);
+    layer->forward_into(view, view, workspace);
+    EXPECT_EQ(std::memcmp(in_place.data().data(), expected.data().data(),
+                          expected.data().size_bytes()),
+              0);
+  }
+}
+
+TEST(ForwardInto, DefaultWrapperBridgesOutOfTreeLayers) {
+  // A layer that overrides neither forward_into nor output_shape must
+  // keep working through the compatibility wrappers (at legacy
+  // allocation cost).
+  class Doubler final : public Layer {
+   public:
+    Tensor forward(const Tensor& input) const override {
+      Tensor out = input;
+      out.transform([](float v) { return 2.0f * v; });
+      return out;
+    }
+    LayerInfo info(const FeatureShape& input_shape) const override {
+      return {.name = "doubler", .output_shape = input_shape};
+    }
+    std::string name() const override { return "doubler"; }
+  };
+  const Doubler layer;
+  const Tensor input = random_activation({3, 4, 4}, 71);
+  EXPECT_EQ(layer.output_shape(input.shape()), input.shape());
+  expect_into_matches_forward(layer, input);
+}
+
+TEST(ForwardInto, ShapeMismatchThrows) {
+  SignActivation sign;
+  Workspace workspace = test_workspace();
+  Tensor input(FeatureShape{2, 3, 3});
+  Tensor wrong(FeatureShape{2, 3, 4});
+  EXPECT_THROW(sign.forward_into(input, wrong, workspace), CheckError);
+}
+
+TEST(ResidualAddInto, MatchesAndAliases) {
+  const Tensor a = random_activation({3, 4, 4}, 73);
+  const Tensor b = random_activation({3, 4, 4}, 74);
+  const Tensor expected = residual_add(a, b);
+  Tensor out(a.shape());
+  residual_add_into(a, b, out);
+  EXPECT_EQ(std::memcmp(out.data().data(), expected.data().data(),
+                        expected.data().size_bytes()),
+            0);
+  // Aliased form: out == a, the in-place residual the block uses.
+  Tensor aliased = a;
+  TensorView view(aliased);
+  residual_add_into(view, b, view);
+  EXPECT_EQ(std::memcmp(aliased.data().data(), expected.data().data(),
+                        expected.data().size_bytes()),
+            0);
+}
+
+TEST(ConcatChannelsInto, MatchesConcatChannels) {
+  const Tensor a = random_activation({3, 4, 4}, 75);
+  const Tensor b = random_activation({5, 4, 4}, 76);
+  const Tensor expected = concat_channels(a, b);
+  Tensor out(FeatureShape{8, 4, 4});
+  concat_channels_into(a, b, out);
+  EXPECT_EQ(std::memcmp(out.data().data(), expected.data().data(),
+                        expected.data().size_bytes()),
+            0);
 }
 
 }  // namespace

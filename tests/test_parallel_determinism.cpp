@@ -120,6 +120,30 @@ TEST_P(ParallelDeterminism, ParallelConvClassifyMatchesSerial) {
   }
 }
 
+TEST_P(ParallelDeterminism, WorkspacePathMatchesLegacyForwardAtEveryCount) {
+  // The arena-backed forward path (classify / classify_into over a
+  // Workspace) against the legacy allocating path (model().forward),
+  // across the full thread matrix and with clustering on and off: the
+  // memory plan must never change a single bit of any score.
+  Engine engine(test::tiny_config(39), options_for(GetParam()));
+  engine.compress();
+  const auto images = test_images(engine.model(), 3, 83);
+  bnn::Workspace workspace = engine.make_workspace();
+  for (const Tensor& image : images) {
+    const Tensor legacy = engine.model().forward(image);
+    for (int threads : kThreadCounts) {
+      expect_bit_identical(engine.classify(image, threads), legacy);
+      Tensor scores;
+      engine.classify_into(image, scores, workspace, threads);
+      expect_bit_identical(scores, legacy);
+    }
+  }
+  // The reused workspace's peak is exactly the plan — at every thread
+  // count, with and without clustering.
+  EXPECT_EQ(workspace.arena().high_water(),
+            engine.memory_plan().arena_bytes());
+}
+
 TEST_P(ParallelDeterminism, AnalyzeMatchesSerial) {
   // analyze() is a thin view over compress_model(), whose determinism
   // the CompressModel test sweeps at every thread count; here one

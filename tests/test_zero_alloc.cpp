@@ -1,0 +1,160 @@
+// The zero-allocation contract of the planned forward path, pinned at
+// the strongest possible level: a global operator-new/delete override
+// counts EVERY heap allocation in the process, and a warm
+// Engine::classify_into (pooled workspace, correctly-shaped scores,
+// threads == 1) must perform exactly none.
+//
+// This suite gets its own binary because the override is global to the
+// translation unit's final link — no other suite should run with
+// counting allocators underneath it.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "bnn/memory_plan.h"
+#include "core/engine.h"
+#include "support/support.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  ++g_allocations;
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size ? size : alignment) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// Replace every form the standard library may route through. The sized
+// and aligned variants must be covered too: a miss there would leak
+// allocations past the counter and silently weaken the test.
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocations;
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocations;
+  return std::malloc(size ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace bkc {
+namespace {
+
+TEST(ZeroAlloc, CounterSeesOrdinaryAllocations) {
+  // Sanity-check the instrument itself before trusting its zeros.
+  const std::uint64_t before = allocation_count();
+  volatile int* p = new int(7);
+  delete p;
+  EXPECT_GT(allocation_count(), before);
+}
+
+TEST(ZeroAlloc, WarmClassifyIntoAllocatesNothing) {
+  Engine engine(test::tiny_config(51));
+  engine.compress();
+  bnn::Workspace workspace = engine.make_workspace();
+  bnn::WeightGenerator gen(5);
+  const Tensor image = gen.sample_activation(engine.model().input_shape());
+  Tensor scores;
+  // Warm-up: shapes the scores tensor; the workspace was fully
+  // allocated at construction.
+  engine.classify_into(image, scores, workspace);
+  const Tensor expected = engine.model().forward(image);
+
+  const std::uint64_t arena_allocs_per_pass =
+      workspace.arena().allocation_count();
+  const std::uint64_t heap_before = allocation_count();
+  constexpr int kPasses = 10;
+  for (int i = 0; i < kPasses; ++i) {
+    engine.classify_into(image, scores, workspace);
+  }
+  const std::uint64_t heap_after = allocation_count();
+
+  // The contract: zero heap allocations per steady-state classify...
+  EXPECT_EQ(heap_after - heap_before, 0u);
+  // ...while the arena shows the same fixed bump count every pass
+  // (it is doing all the work the heap no longer does)...
+  EXPECT_EQ(workspace.arena().allocation_count(),
+            (kPasses + 1) * arena_allocs_per_pass);
+  EXPECT_EQ(workspace.arena().reset_count(),
+            static_cast<std::uint64_t>(kPasses + 1));
+  // ...to exactly the planned high-water mark.
+  EXPECT_EQ(workspace.arena().high_water(),
+            engine.memory_plan().arena_bytes());
+  // And the result is still bit-identical to the legacy path.
+  ASSERT_EQ(scores.shape(), expected.shape());
+  EXPECT_EQ(std::memcmp(scores.data().data(), expected.data().data(),
+                        expected.data().size_bytes()),
+            0);
+}
+
+TEST(ZeroAlloc, PooledClassifyStopsAllocatingAfterWarmup) {
+  Engine engine(test::tiny_config(53));
+  engine.compress();
+  bnn::WeightGenerator gen(6);
+  const Tensor image = gen.sample_activation(engine.model().input_shape());
+
+  // Warm the engine's internal pool (and the score-shape path).
+  const Tensor expected = engine.classify(image);
+  engine.classify(image);
+
+  // Steady state: the only allocation left per classify() is the
+  // returned score tensor itself (one vector), plus nothing from the
+  // pool, the arena or the layers.
+  const std::uint64_t before = allocation_count();
+  constexpr int kPasses = 8;
+  for (int i = 0; i < kPasses; ++i) {
+    const Tensor scores = engine.classify(image);
+  }
+  const std::uint64_t after = allocation_count();
+  EXPECT_LE(after - before, static_cast<std::uint64_t>(kPasses));
+  EXPECT_EQ(std::memcmp(engine.classify(image).data().data(),
+                        expected.data().data(),
+                        expected.data().size_bytes()),
+            0);
+}
+
+}  // namespace
+}  // namespace bkc
